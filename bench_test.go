@@ -1,0 +1,280 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The fixture (a loaded, analyzed database plus the W1/W2/W3 workloads
+// and both W1-based recommendations) is built once and shared.
+package dyndesign_test
+
+import (
+	"sync"
+	"testing"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/core"
+	"dyndesign/internal/experiments"
+	"dyndesign/internal/workload"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixture     *experiments.Table2Result
+	fixtureErr  error
+)
+
+// benchScale keeps the full suite fast while preserving every regime the
+// experiments rely on; cmd/paperexp runs the same code at paper scale.
+var benchScale = experiments.Scale{Rows: 50000, BlockSize: 100, Seed: 1}
+
+func getFixture(b *testing.B) *experiments.Table2Result {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixture, fixtureErr = experiments.RunTable2(benchScale)
+	})
+	if fixtureErr != nil {
+		b.Fatal(fixtureErr)
+	}
+	return fixture
+}
+
+// warmProblem returns the W1 problem with its what-if memo warmed, so
+// solver benchmarks measure graph work, not cost-model evaluation.
+func warmProblem(b *testing.B, k int) *core.Problem {
+	b.Helper()
+	t2 := getFixture(b)
+	p, _, err := t2.Advisor.Problem(t2.W1, experiments.PaperOptions(core.Unconstrained))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.SolveUnconstrained(p); err != nil {
+		b.Fatal(err)
+	}
+	p.K = k
+	return p
+}
+
+// --- Table 1 -----------------------------------------------------------
+
+// BenchmarkTable1Mixes regenerates the query-mix table (Table 1): mix
+// construction plus generation of one block of queries per mix.
+func BenchmarkTable1Mixes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t1 := experiments.RunTable1()
+		if len(t1.Rows) != 4 {
+			b.Fatal("bad mix table")
+		}
+	}
+}
+
+// --- Table 2 -----------------------------------------------------------
+
+// BenchmarkTable2Designs regenerates Table 2's design columns: the full
+// advisor pipeline (what-if costing plus the k-aware graph) for the
+// unconstrained and the k=2 recommendation on W1.
+func BenchmarkTable2Designs(b *testing.B) {
+	t2 := getFixture(b)
+	for _, run := range []struct {
+		name string
+		k    int
+	}{
+		{"unconstrained", core.Unconstrained},
+		{"k=2", 2},
+	} {
+		b.Run(run.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec, err := t2.Advisor.Recommend(t2.W1, experiments.PaperOptions(run.k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if run.k >= 0 && rec.Solution.Changes > run.k {
+					b.Fatal("change bound violated")
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 3 -----------------------------------------------------------
+
+// BenchmarkFigure3Execution regenerates one bar of Figure 3 per
+// sub-benchmark: a full workload replay (index builds/drops at change
+// points plus every query) measured in logical page accesses.
+func BenchmarkFigure3Execution(b *testing.B) {
+	t2 := getFixture(b)
+	runs := []struct {
+		name string
+		w    *workload.Workload
+		rec  *advisor.Recommendation
+	}{
+		{"W1/unconstrained", t2.W1, t2.Unconstrained},
+		{"W1/constrained", t2.W1, t2.Constrained},
+		{"W2/unconstrained", t2.W2, t2.Unconstrained},
+		{"W2/constrained", t2.W2, t2.Constrained},
+		{"W3/unconstrained", t2.W3, t2.Unconstrained},
+		{"W3/constrained", t2.W3, t2.Constrained},
+	}
+	for _, run := range runs {
+		b.Run(run.name, func(b *testing.B) {
+			designs := run.rec.PerStatement()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				report, err := advisor.Replay(t2.DB, run.w, run.rec, designs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(report.TotalPages()), "pages")
+			}
+		})
+	}
+}
+
+// --- Figure 4 -----------------------------------------------------------
+
+// BenchmarkFigure4KAware times the k-aware-graph optimizer per k; the
+// paper's figure shows it growing linearly in k relative to the
+// unconstrained optimizer (BenchmarkFigure4Unconstrained).
+func BenchmarkFigure4KAware(b *testing.B) {
+	for _, k := range []int{2, 6, 10, 14, 18} {
+		p := warmProblem(b, k)
+		b.Run(kName(k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveKAware(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4Merging times the sequential-merging optimizer per k in
+// its faithful mode (segment costs re-summed per evaluation, the
+// complexity the paper states); the figure shows it shrinking as k
+// approaches the unconstrained optimum's change count.
+func BenchmarkFigure4Merging(b *testing.B) {
+	for _, k := range []int{2, 6, 10, 14, 18} {
+		p := warmProblem(b, k)
+		b.Run(kName(k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seed, err := core.SolveUnconstrained(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := core.SolveMergeOpts(p, seed, core.MergeOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4Unconstrained is the figure's 100% baseline.
+func BenchmarkFigure4Unconstrained(b *testing.B) {
+	p := warmProblem(b, core.Unconstrained)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveUnconstrained(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// BenchmarkAblationGreedySeq times the §4.1 candidate-reduction
+// heuristic, which the paper describes but does not measure.
+func BenchmarkAblationGreedySeq(b *testing.B) {
+	p := warmProblem(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.SolveGreedySeq(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMergeMemoized quantifies the improvement of
+// prefix-sum segment memoization over the paper's assumed cost profile
+// (compare against BenchmarkFigure4Merging/k=2).
+func BenchmarkAblationMergeMemoized(b *testing.B) {
+	p := warmProblem(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed, err := core.SolveUnconstrained(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.SolveMergeOpts(p, seed, core.MergeOptions{MemoizeSegments: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRankingPruned times the §5 ranking optimizer with
+// infeasible-prefix pruning at a k large enough to terminate quickly;
+// plain ranking's small-k blowup is demonstrated (with a budget) by
+// `paperexp -exp ablations`.
+func BenchmarkAblationRankingPruned(b *testing.B) {
+	p := warmProblem(b, 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.SolveRanking(p, core.RankingOptions{Prune: true, MaxExpansions: 10_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Exhausted {
+			b.Fatal("ranking budget exhausted")
+		}
+	}
+}
+
+// BenchmarkAblationHybrid times the §6.4 hybrid at a small and a large k
+// (it should track the cheaper branch at both ends).
+func BenchmarkAblationHybrid(b *testing.B) {
+	for _, k := range []int{2, 12} {
+		p := warmProblem(b, k)
+		b.Run(kName(k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.SolveHybrid(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWhatIfCosting times one full what-if cost-matrix
+// evaluation (the advisor's preprocessing, shared by every strategy).
+func BenchmarkAblationWhatIfCosting(b *testing.B) {
+	t2 := getFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _, err := t2.Advisor.Problem(t2.W1, experiments.PaperOptions(core.Unconstrained))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Force a cold matrix evaluation.
+		if _, err := core.SolveUnconstrained(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func kName(k int) string {
+	return "k=" + string(rune('0'+k/10)) + string(rune('0'+k%10))
+}

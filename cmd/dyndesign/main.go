@@ -1,0 +1,167 @@
+// Command dyndesign is the design advisor CLI: it loads a database from
+// a SQL setup script, reads a workload trace, and recommends a
+// (constrained) dynamic physical design.
+//
+// Usage:
+//
+//	dyndesign -setup schema.sql -trace w1.json -k 2
+//	dyndesign -paper-rows 100000 -trace w1.json -k 2 -strategy hybrid
+//	dyndesign -paper-rows 100000 -trace w1.json -k unconstrained -candidates auto
+//
+// The setup script is a sequence of SQL statements (one per line or
+// separated by semicolons at line ends; "--" comments allowed) that
+// creates and fills the tables. -paper-rows replaces the script with the
+// paper's synthetic 4-column table at the given cardinality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/candidates"
+	"dyndesign/internal/core"
+	"dyndesign/internal/engine"
+	"dyndesign/internal/experiments"
+	"dyndesign/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dyndesign: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	setup := flag.String("setup", "", "SQL script creating and filling the database")
+	paperRows := flag.Int64("paper-rows", 0, "instead of -setup, build the paper's table with this many rows")
+	tracePath := flag.String("trace", "", "workload trace JSON (from workloadgen); - for stdin")
+	table := flag.String("table", "t", "table to tune")
+	kFlag := flag.String("k", "2", "change bound (a number, or 'unconstrained')")
+	space := flag.Float64("space", 0, "space bound b in pages (0 = unbounded)")
+	strategyFlag := flag.String("strategy", "kaware", "solver: kaware, greedyseq, merge, ranking, rankmerge, hybrid")
+	segment := flag.Int("segment", 1, "statements per optimization stage")
+	policy := flag.String("policy", "free", "change counting: 'free' (endpoints free) or 'strict' (Definition 1)")
+	candMode := flag.String("candidates", "paper", "candidate structures: 'paper' or 'auto' (derived from the trace)")
+	finalEmpty := flag.Bool("final-empty", true, "constrain the final configuration to be empty")
+	timeline := flag.Int("timeline", 0, "also print the design timeline with this block size (-1 for auto)")
+	flag.Parse()
+
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+
+	// Build the database.
+	var db *engine.Database
+	switch {
+	case *paperRows > 0 && *setup != "":
+		return fmt.Errorf("use either -setup or -paper-rows, not both")
+	case *paperRows > 0:
+		fmt.Fprintf(os.Stderr, "building paper table with %d rows...\n", *paperRows)
+		var err error
+		db, err = experiments.SetupPaperDatabase(experiments.Scale{Rows: *paperRows, BlockSize: 1, Seed: 1})
+		if err != nil {
+			return err
+		}
+	case *setup != "":
+		db = engine.New()
+		f, err := os.Open(*setup)
+		if err != nil {
+			return err
+		}
+		err = db.ExecScript(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := db.Analyze(*table); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -setup or -paper-rows is required")
+	}
+
+	// Read the workload.
+	var in *os.File
+	if *tracePath == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	w, err := workload.ReadJSON(in)
+	if err != nil {
+		return err
+	}
+
+	// Design space.
+	var spaceDef advisor.DesignSpace
+	switch *candMode {
+	case "paper":
+		structures := candidates.PaperStructures(*table)
+		spaceDef = advisor.DesignSpace{
+			Table:      *table,
+			Structures: structures,
+			Configs:    advisor.SingleIndexConfigs(len(structures)),
+		}
+	case "auto":
+		structures := candidates.FromWorkload(w, *table, candidates.Options{MaxWidth: 2, Limit: 16})
+		if len(structures) == 0 {
+			return fmt.Errorf("no candidate structures derivable from the trace")
+		}
+		spaceDef = advisor.DesignSpace{Table: *table, Structures: structures}
+	default:
+		return fmt.Errorf("unknown -candidates mode %q", *candMode)
+	}
+
+	// Options.
+	opts := advisor.Options{
+		SpaceBound:  *space,
+		Strategy:    core.Strategy(*strategyFlag),
+		SegmentSize: *segment,
+	}
+	switch *kFlag {
+	case "unconstrained", "inf", "-1":
+		opts.K = core.Unconstrained
+	default:
+		k, err := strconv.Atoi(*kFlag)
+		if err != nil || k < 0 {
+			return fmt.Errorf("bad -k %q", *kFlag)
+		}
+		opts.K = k
+	}
+	switch *policy {
+	case "free":
+		opts.Policy = core.FreeEndpoints
+	case "strict":
+		opts.Policy = core.CountAll
+	default:
+		return fmt.Errorf("unknown -policy %q", *policy)
+	}
+	if *finalEmpty {
+		f := core.Config(0)
+		opts.Final = &f
+	}
+
+	adv, err := advisor.New(db, spaceDef)
+	if err != nil {
+		return err
+	}
+	rec, err := adv.Recommend(w, opts)
+	if err != nil {
+		return err
+	}
+	rec.Render(os.Stdout)
+	if *timeline != 0 {
+		fmt.Println()
+		rec.RenderTimeline(os.Stdout, *timeline)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Command paperexp reproduces the evaluation of Voigt, Salem, Lehner,
+// "Constrained Dynamic Physical Database Design" (ICDEW 2008): Table 1
+// (query mixes), Table 2 (workloads and recommended designs), Figure 3
+// (execution cost of W1/W2/W3 under the constrained and unconstrained
+// designs), and Figure 4 (optimizer runtimes vs k).
+//
+// Usage:
+//
+//	paperexp -exp all                      # everything at default scale
+//	paperexp -exp table2 -rows 2500000 -block 500   # paper scale
+//	paperexp -exp fig4 -ks 2,4,6,8,10,12,14,16,18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyndesign/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, fig3, fig4, or all")
+	rows := flag.Int64("rows", experiments.DefaultScale.Rows, "table cardinality (paper: 2500000)")
+	block := flag.Int("block", experiments.DefaultScale.BlockSize, "queries per workload block (paper: 500)")
+	seed := flag.Int64("seed", experiments.DefaultScale.Seed, "random seed")
+	ksFlag := flag.String("ks", "2,4,6,8,10,12,14,16,18", "comma-separated k values for fig4")
+	format := flag.String("format", "text", "output format: text or json")
+	flag.Parse()
+	asJSON := *format == "json"
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "paperexp: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+	var report experiments.JSONReport
+
+	scale := experiments.Scale{Rows: *rows, BlockSize: *block, Seed: *seed}
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if run("table1") {
+		t1 := experiments.RunTable1()
+		if asJSON {
+			report.Table1 = t1
+		} else {
+			t1.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if !run("table2") && !run("fig3") && !run("fig4") && !run("ablations") {
+		if *exp != "table1" {
+			fmt.Fprintf(os.Stderr, "paperexp: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		if asJSON {
+			report.Scale = scale
+			if err := experiments.WriteJSON(os.Stdout, report); err != nil {
+				fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "building %d-row table and solving designs (this is the expensive part)...\n", scale.Rows)
+	t2, err := experiments.RunTable2(scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+		os.Exit(1)
+	}
+	if run("table2") {
+		if asJSON {
+			report.Table2 = t2.Rows
+		} else {
+			t2.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if run("fig3") {
+		fmt.Fprintf(os.Stderr, "replaying 6 workload/design combinations...\n")
+		f3, err := experiments.RunFigure3(t2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+			os.Exit(1)
+		}
+		if asJSON {
+			report.Figure3 = f3
+		} else {
+			f3.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if run("fig4") {
+		var ks []int
+		for _, part := range strings.Split(*ksFlag, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			k, err := strconv.Atoi(part)
+			if err != nil || k < 0 {
+				fmt.Fprintf(os.Stderr, "paperexp: bad -ks entry %q\n", part)
+				os.Exit(2)
+			}
+			ks = append(ks, k)
+		}
+		fmt.Fprintf(os.Stderr, "timing optimizers for k = %v...\n", ks)
+		f4, err := experiments.RunFigure4(t2, ks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+			os.Exit(1)
+		}
+		if asJSON {
+			report.Figure4 = f4
+		} else {
+			f4.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if run("ablations") {
+		fmt.Fprintf(os.Stderr, "running ablations...\n")
+		fail := func(err error) {
+			fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+			os.Exit(1)
+		}
+		quality, err := experiments.RunQualityVsK(t2)
+		if err != nil {
+			fail(err)
+		}
+		if asJSON {
+			report.Quality = quality
+		} else {
+			quality.Render(os.Stdout)
+			fmt.Println()
+		}
+		strat, err := experiments.RunStrategyComparison(t2, 2)
+		if err != nil {
+			fail(err)
+		}
+		if !asJSON {
+			strat.Render(os.Stdout)
+			fmt.Println()
+		}
+		ranking, err := experiments.RunRankingAblation(t2, []int{2, 4, 8, 12}, 2_000_000)
+		if err != nil {
+			fail(err)
+		}
+		if !asJSON {
+			ranking.Render(os.Stdout)
+			fmt.Println()
+		}
+		policy, err := experiments.RunPolicyAblation(t2, []int{0, 1, 2, 4, 8})
+		if err != nil {
+			fail(err)
+		}
+		if !asJSON {
+			policy.Render(os.Stdout)
+			fmt.Println()
+		}
+		writeLoad, err := experiments.RunWriteLoad(scale)
+		if err != nil {
+			fail(err)
+		}
+		if asJSON {
+			report.WriteLoad = writeLoad
+		} else {
+			writeLoad.Render(os.Stdout)
+			fmt.Println()
+		}
+		estimate, err := experiments.RunEstimateVsMeasured(t2, []int{0, 2, 8, 14})
+		if err != nil {
+			fail(err)
+		}
+		if !asJSON {
+			estimate.Render(os.Stdout)
+		}
+	}
+	if asJSON {
+		report.Scale = scale
+		if err := experiments.WriteJSON(os.Stdout, report); err != nil {
+			fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command workloadgen generates workload traces as JSON: the paper's
+// W1/W2/W3 family, or custom phased workloads over the Table 1 mixes.
+//
+// Usage:
+//
+//	workloadgen -workload W1 -rows 100000 -block 200 -o w1.json
+//	workloadgen -plan "A:500,B:500,A:500" -rows 100000 -o custom.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyndesign/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "paper workload to generate: W1, W2, or W3")
+	plan := flag.String("plan", "", "custom plan over mixes A-D, e.g. \"A:500,B:500\" (alternative to -workload)")
+	rows := flag.Int64("rows", 100000, "table cardinality the workload targets (sets the value domain)")
+	block := flag.Int("block", 200, "queries per block for -workload")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	statsPath := flag.String("stats", "", "instead of generating, print block statistics of an existing trace file")
+	flag.Parse()
+
+	if *statsPath != "" {
+		if err := printStats(*statsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var w *workload.Workload
+	var err error
+	switch {
+	case *name != "" && *plan != "":
+		err = fmt.Errorf("use either -workload or -plan, not both")
+	case *name != "":
+		w, err = workload.PaperWorkload(*name, *rows, *block, *seed)
+	case *plan != "":
+		w, err = fromPlan(*plan, *rows, *seed)
+	default:
+		err = fmt.Errorf("one of -workload or -plan is required")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	var dst io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := w.WriteJSON(dst); err != nil {
+		fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d statements (%s)\n", w.Len(), w.Name)
+}
+
+// printStats summarizes an existing trace: statement count, mix
+// histogram, and the block structure.
+func printStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := workload.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %q: %d statements\n", w.Name, w.Len())
+	if len(w.Labels) == 0 {
+		fmt.Println("(no block labels)")
+		return nil
+	}
+	fmt.Println("mix histogram:")
+	for _, b := range w.MixHistogram() {
+		fmt.Printf("  %-6s %6d\n", b.Label, b.Count)
+	}
+	blocks := w.BlockLabels()
+	fmt.Printf("blocks: %d\n", len(blocks))
+	for _, b := range blocks {
+		fmt.Printf("  @%-7d %-6s x%d\n", b.Start, b.Label, b.Count)
+	}
+	return nil
+}
+
+// fromPlan parses "A:500,B:500" into a phased workload over the paper
+// mixes.
+func fromPlan(plan string, rows, seed int64) (*workload.Workload, error) {
+	mixes := workload.PaperMixes(rows)
+	var specs []workload.PhaseSpec
+	for _, part := range strings.Split(plan, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, ":", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad plan entry %q (want MIX:COUNT)", part)
+		}
+		count, err := strconv.Atoi(fields[1])
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("bad count in plan entry %q", part)
+		}
+		specs = append(specs, workload.PhaseSpec{Mix: strings.ToUpper(fields[0]), Count: count})
+	}
+	return workload.GeneratePhased("custom", mixes, specs, seed)
+}

@@ -1,0 +1,88 @@
+package dyndesign_test
+
+import (
+	"fmt"
+
+	"dyndesign"
+)
+
+// ExampleNewDatabase shows the embedded engine: DDL, DML, queries with
+// aggregates, and EXPLAIN.
+func ExampleNewDatabase() {
+	db := dyndesign.NewDatabase()
+	db.MustExec("CREATE TABLE orders (customer INT, amount INT)")
+	db.MustExec("INSERT INTO orders VALUES (1, 100), (1, 250), (2, 75)")
+
+	res := db.MustExec("SELECT customer, SUM(amount) FROM orders GROUP BY customer")
+	for _, row := range res.Rows {
+		fmt.Printf("customer %d spent %d\n", row[0].Int, row[1].Int)
+	}
+	// Output:
+	// customer 1 spent 350
+	// customer 2 spent 75
+}
+
+// ExampleConfig shows configurations as bitsets over candidate
+// structures.
+func ExampleConfig() {
+	names := []string{"I(a)", "I(b)", "I(a,b)"}
+	c := dyndesign.Config(0).With(0).With(2)
+	fmt.Println(c.Format(names))
+	fmt.Println(c.Count(), "indexes")
+	added, removed := c.Diff(dyndesign.Config(0).With(1))
+	fmt.Println("to reach {I(b)}: add", added, "remove", removed)
+	// Output:
+	// {I(a), I(a,b)}
+	// 2 indexes
+	// to reach {I(b)}: add [1] remove [0 2]
+}
+
+// ExampleSolve runs a solver directly over a custom cost model, without
+// the bundled engine — any system that can cost EXEC/TRANS/SIZE can use
+// the optimizers.
+func ExampleSolve() {
+	// Two configurations: 0 (no index) and 1 (indexed). The workload has
+	// two phases; the index helps only in the second.
+	model := phaseModel{}
+	p := &dyndesign.Problem{
+		Stages:  6,
+		Configs: []dyndesign.Config{0, 1},
+		Initial: 0,
+		K:       1,
+		Model:   model,
+	}
+	sol, err := dyndesign.Solve(p, dyndesign.StrategyKAware)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("designs:", sol.Designs)
+	fmt.Println("changes:", sol.Changes)
+	// Output:
+	// designs: [0 0 0 1 1 1]
+	// changes: 1
+}
+
+type phaseModel struct{}
+
+func (phaseModel) Exec(stage int, c dyndesign.Config) float64 {
+	if stage < 3 {
+		// Phase 1: the index is dead weight (maintenance overhead).
+		if c == 1 {
+			return 12
+		}
+		return 10
+	}
+	if c == 1 {
+		return 1 // phase 2 under the index
+	}
+	return 10
+}
+
+func (phaseModel) Trans(from, to dyndesign.Config) float64 {
+	if from == to {
+		return 0
+	}
+	return 5
+}
+
+func (phaseModel) Size(c dyndesign.Config) float64 { return float64(c.Count()) }

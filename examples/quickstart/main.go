@@ -1,0 +1,94 @@
+// Quickstart: build a small database, generate a time-varying workload,
+// and compare the unconstrained dynamic design with a change-constrained
+// one (k = 2).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"dyndesign"
+)
+
+func main() {
+	// 1. An embedded database with the paper's 4-column table.
+	db := dyndesign.NewDatabase()
+	db.MustExec("CREATE TABLE t (a INT, b INT, c INT, d INT)")
+
+	const rows = 50000
+	domain := int64(rows / 5) // ~5 rows per point-query value
+	rng := rand.New(rand.NewSource(1))
+	var sb strings.Builder
+	for i := 0; i < rows; i += 500 {
+		sb.Reset()
+		sb.WriteString("INSERT INTO t VALUES ")
+		for j := 0; j < 500; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %d, %d)",
+				rng.Int63n(domain), rng.Int63n(domain), rng.Int63n(domain), rng.Int63n(domain))
+		}
+		db.MustExec(sb.String())
+	}
+	if err := db.Analyze("t"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A workload with two major phases and minor fluctuations: the
+	// paper's W1, scaled down.
+	w, err := dyndesign.PaperWorkload("W1", rows, 100, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d point queries in %d blocks\n\n", w.Len(), len(w.BlockLabels()))
+
+	// 3. An advisor over the paper's design space.
+	structures := dyndesign.PaperStructures("t")
+	adv, err := dyndesign.NewAdvisor(db, dyndesign.DesignSpace{
+		Table:      "t",
+		Structures: structures,
+		Configs:    dyndesign.SingleIndexConfigs(len(structures)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Recommend: unconstrained (fits every fluctuation) vs k = 2
+	// (tracks only the major trend).
+	empty := dyndesign.Config(0)
+	unconstrained, err := adv.Recommend(w, dyndesign.Options{
+		K:     dyndesign.Unconstrained,
+		Final: &empty,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	constrained, err := adv.Recommend(w, dyndesign.Options{K: 2, Final: &empty})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- unconstrained dynamic design ---")
+	unconstrained.Render(os.Stdout)
+	fmt.Println()
+	fmt.Println("--- change-constrained design (k=2) ---")
+	constrained.Render(os.Stdout)
+
+	// 5. Execute the workload under the constrained design for real and
+	// compare measured pages with the advisor's estimate.
+	report, err := dyndesign.Replay(db, w, constrained, constrained.PerStatement())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplay under k=2 design: %d query pages + %d transition pages "+
+		"(advisor estimated %.0f)\n",
+		report.QueryPages, report.TransitionPages, constrained.Solution.Cost)
+}

@@ -1,0 +1,3 @@
+module dyndesign
+
+go 1.22

@@ -1,0 +1,294 @@
+// Package advisor is the user-facing design advisor: it binds the
+// engine's what-if cost model to the solvers in internal/core and turns
+// workload traces into dynamic physical design recommendations.
+//
+// The advisor plays the role of the paper's "constrained dynamic design
+// advisor": given a workload sequence, an initial configuration, a space
+// bound b and a change bound k, it recommends a sequence of physical
+// designs. The classical static advisor and the unconstrained dynamic
+// advisor of Agrawal et al. are the k = 0 and k = ∞ special cases.
+package advisor
+
+import (
+	"fmt"
+	"time"
+
+	"dyndesign/internal/catalog"
+	"dyndesign/internal/core"
+	"dyndesign/internal/cost"
+	"dyndesign/internal/engine"
+	"dyndesign/internal/sql"
+	"dyndesign/internal/workload"
+)
+
+// DesignSpace is the set of candidate structures and configurations a
+// recommendation may use.
+type DesignSpace struct {
+	Table string
+	// Structures are the candidate indexes; configuration bit i refers
+	// to Structures[i]. At most core.MaxStructures entries.
+	Structures []catalog.IndexDef
+	// Configs optionally fixes the allowed configurations explicitly
+	// (the paper's experiments use {∅, I(a), I(b), I(c), I(d), I(a,b),
+	// I(c,d)}). When nil, all subsets of Structures within the space
+	// bound are enumerated (which requires len(Structures) <= 20).
+	Configs []core.Config
+}
+
+// StructureNames returns the canonical names of the candidate
+// structures, indexed like configuration bits.
+func (s *DesignSpace) StructureNames() []string {
+	names := make([]string, len(s.Structures))
+	for i, def := range s.Structures {
+		names[i] = def.Name()
+	}
+	return names
+}
+
+// SingleIndexConfigs returns the configuration list used by the paper's
+// experiments: the empty configuration plus one configuration per
+// structure ("a physical design configuration consists of at most one
+// index").
+func SingleIndexConfigs(numStructures int) []core.Config {
+	out := make([]core.Config, 0, numStructures+1)
+	out = append(out, core.Config(0))
+	for i := 0; i < numStructures; i++ {
+		out = append(out, core.ConfigOf(i))
+	}
+	return out
+}
+
+// Options configures a recommendation run.
+type Options struct {
+	// K is the change bound; core.Unconstrained disables it.
+	K int
+	// Policy selects the change-counting rule (default FreeEndpoints,
+	// which reproduces the paper's Table 2; see DESIGN.md §3).
+	Policy core.ChangePolicy
+	// SpaceBound is b in pages; 0 means unbounded.
+	SpaceBound float64
+	// Strategy picks the solver (default the exact k-aware graph).
+	Strategy core.Strategy
+	// SegmentSize groups consecutive statements into optimization
+	// stages (default 1: one stage per statement, as in the paper's
+	// problem definition). Labelled workloads never mix labels within a
+	// segment.
+	SegmentSize int
+	// Initial is C0. The default is the empty configuration.
+	Initial core.Config
+	// Final optionally constrains the configuration after the last
+	// statement (the paper's experiments pin it to empty).
+	Final *core.Config
+}
+
+// Advisor recommends dynamic physical designs for one table of a
+// database.
+type Advisor struct {
+	db    *engine.Database
+	space DesignSpace
+	table cost.TablePhys
+	phys  []cost.IndexPhys // hypothetical physical description per structure
+}
+
+// New builds an advisor over an analyzed table. The table must have
+// statistics (Database.Analyze) so what-if estimates are meaningful.
+func New(db *engine.Database, space DesignSpace) (*Advisor, error) {
+	if len(space.Structures) == 0 {
+		return nil, fmt.Errorf("advisor: design space has no candidate structures")
+	}
+	if len(space.Structures) > core.MaxStructures {
+		return nil, fmt.Errorf("advisor: %d candidate structures exceed the maximum %d",
+			len(space.Structures), core.MaxStructures)
+	}
+	tp, err := db.TablePhys(space.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tp.Stats == nil {
+		return nil, fmt.Errorf("advisor: table %q has no statistics; run Analyze first", space.Table)
+	}
+	a := &Advisor{db: db, space: space, table: tp}
+	for _, def := range space.Structures {
+		ip, err := cost.HypotheticalIndex(def, tp)
+		if err != nil {
+			return nil, err
+		}
+		a.phys = append(a.phys, ip)
+	}
+	return a, nil
+}
+
+// Space returns the advisor's design space.
+func (a *Advisor) Space() *DesignSpace { return &a.space }
+
+// StatementCost returns the what-if cost of one statement under a
+// configuration of the design space — the EXEC(S, C) primitive, exposed
+// for monitoring tools like the drift alerter.
+func (a *Advisor) StatementCost(s workload.Statement, c core.Config) (float64, error) {
+	idxs := make([]cost.IndexPhys, 0, c.Count())
+	for _, bit := range c.Structures() {
+		if bit >= len(a.phys) {
+			return 0, fmt.Errorf("advisor: configuration bit %d outside the design space", bit)
+		}
+		idxs = append(idxs, a.phys[bit])
+	}
+	return cost.StatementCost(s.Stmt, a.table, idxs)
+}
+
+// execKey memoizes EXEC per (stage, configuration).
+type execKey struct {
+	stage int
+	cfg   core.Config
+}
+
+// whatIfModel implements core.CostModel over the engine's what-if cost
+// functions.
+type whatIfModel struct {
+	table cost.TablePhys
+	phys  []cost.IndexPhys
+	segs  []workload.Segment
+	memo  map[execKey]float64
+}
+
+func (m *whatIfModel) physFor(c core.Config) []cost.IndexPhys {
+	out := make([]cost.IndexPhys, 0, c.Count())
+	for _, s := range c.Structures() {
+		out = append(out, m.phys[s])
+	}
+	return out
+}
+
+// Exec implements core.CostModel: the summed what-if cost of the
+// segment's statements under configuration c. Statements are validated
+// when the problem is built, so a cost error here is a bug.
+func (m *whatIfModel) Exec(stage int, c core.Config) float64 {
+	key := execKey{stage: stage, cfg: c}
+	if v, ok := m.memo[key]; ok {
+		return v
+	}
+	idxs := m.physFor(c)
+	total := 0.0
+	for _, s := range m.segs[stage].Statements {
+		v, err := cost.StatementCost(s.Stmt, m.table, idxs)
+		if err != nil {
+			panic(fmt.Sprintf("advisor: costing validated statement %q: %v", s.SQL, err))
+		}
+		total += v
+	}
+	m.memo[key] = total
+	return total
+}
+
+// Trans implements core.CostModel: build costs for added structures plus
+// drop costs for removed ones.
+func (m *whatIfModel) Trans(from, to core.Config) float64 {
+	added, removed := from.Diff(to)
+	total := 0.0
+	for _, s := range added {
+		total += cost.BuildCost(m.phys[s], m.table)
+	}
+	total += float64(len(removed)) * cost.DropCost()
+	return total
+}
+
+// Size implements core.CostModel: total pages of the configuration.
+func (m *whatIfModel) Size(c core.Config) float64 {
+	total := 0.0
+	for _, s := range c.Structures() {
+		total += m.phys[s].TotalPages
+	}
+	return total
+}
+
+// Problem assembles the core problem instance for a workload under the
+// given options. It validates every statement against the schema up
+// front.
+func (a *Advisor) Problem(w *workload.Workload, opts Options) (*core.Problem, []workload.Segment, error) {
+	if w.Len() == 0 {
+		return nil, nil, fmt.Errorf("advisor: empty workload")
+	}
+	// Validate statements once: cost errors are schema/type errors and
+	// configuration-independent.
+	for i, s := range w.Statements {
+		switch s.Stmt.(type) {
+		case *sql.Select, *sql.Insert, *sql.Update, *sql.Delete:
+			if _, err := cost.StatementCost(s.Stmt, a.table, nil); err != nil {
+				return nil, nil, fmt.Errorf("advisor: statement %d (%q): %w", i, s.SQL, err)
+			}
+		default:
+			return nil, nil, fmt.Errorf("advisor: statement %d (%q) is not a workload statement", i, s.SQL)
+		}
+	}
+	segSize := opts.SegmentSize
+	if segSize <= 0 {
+		segSize = 1
+	}
+	segs := w.Segments(segSize)
+	model := &whatIfModel{
+		table: a.table,
+		phys:  a.phys,
+		segs:  segs,
+		memo:  make(map[execKey]float64),
+	}
+	configs := a.space.Configs
+	if configs == nil {
+		var err error
+		configs, err = core.EnumerateConfigs(len(a.space.Structures), model.Size, opts.SpaceBound)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	p := &core.Problem{
+		Stages:     len(segs),
+		Configs:    configs,
+		Initial:    opts.Initial,
+		Final:      opts.Final,
+		SpaceBound: opts.SpaceBound,
+		K:          opts.K,
+		Policy:     opts.Policy,
+		Model:      model,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return p, segs, nil
+}
+
+// Recommend solves the constrained dynamic design problem for the
+// workload and packages the result.
+func (a *Advisor) Recommend(w *workload.Workload, opts Options) (*Recommendation, error) {
+	p, segs, err := a.Problem(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	strategy := opts.Strategy
+	if strategy == "" {
+		strategy = core.StrategyKAware
+	}
+	start := time.Now()
+	sol, err := core.Solve(p, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Recommendation{
+		Table:          a.space.Table,
+		StructureNames: a.space.StructureNames(),
+		Structures:     a.space.Structures,
+		Segments:       segs,
+		Workload:       w,
+		Problem:        p,
+		Solution:       sol,
+		Strategy:       strategy,
+		Elapsed:        time.Since(start),
+	}, nil
+}
+
+// RecommendStatic recommends the best single static design for the whole
+// workload — the classical advisor baseline, i.e. the constrained
+// problem with k = 0 under FreeEndpoints.
+func (a *Advisor) RecommendStatic(w *workload.Workload, opts Options) (*Recommendation, error) {
+	opts.K = 0
+	opts.Policy = core.FreeEndpoints
+	opts.Strategy = core.StrategyKAware
+	return a.Recommend(w, opts)
+}

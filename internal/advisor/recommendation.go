@@ -1,0 +1,181 @@
+package advisor
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dyndesign/internal/catalog"
+	"dyndesign/internal/core"
+	"dyndesign/internal/workload"
+)
+
+// Recommendation is the output of an advisor run: the recommended design
+// sequence plus everything needed to inspect, render, and apply it.
+type Recommendation struct {
+	Table          string
+	StructureNames []string
+	Structures     []catalog.IndexDef
+	Segments       []workload.Segment
+	Workload       *workload.Workload
+	Problem        *core.Problem
+	Solution       *core.Solution
+	Strategy       core.Strategy
+	Elapsed        time.Duration
+}
+
+// PerStatement expands the per-stage designs to one configuration per
+// workload statement.
+func (r *Recommendation) PerStatement() []core.Config {
+	out := make([]core.Config, 0, r.Workload.Len())
+	for i, seg := range r.Segments {
+		for range seg.Statements {
+			out = append(out, r.Solution.Designs[i])
+		}
+	}
+	return out
+}
+
+// DesignAt returns the configuration recommended for statement index i.
+func (r *Recommendation) DesignAt(i int) core.Config {
+	for s, seg := range r.Segments {
+		if i < seg.Start+len(seg.Statements) {
+			return r.Solution.Designs[s]
+		}
+	}
+	return r.Solution.Designs[len(r.Solution.Designs)-1]
+}
+
+// Step is one design change in a recommendation.
+type Step struct {
+	// StatementIndex is the workload position before which the change
+	// happens; 0 means "before the first statement".
+	StatementIndex int
+	From, To       core.Config
+	// DDL is the SQL to effect the change: drops first, then creates.
+	DDL []string
+}
+
+// ddlFor builds the DDL statements for a configuration change.
+func (r *Recommendation) ddlFor(from, to core.Config) []string {
+	added, removed := from.Diff(to)
+	var out []string
+	for _, s := range removed {
+		def := r.Structures[s]
+		out = append(out, fmt.Sprintf("DROP INDEX %s ON %s", def.Name(), def.Table))
+	}
+	for _, s := range added {
+		def := r.Structures[s]
+		out = append(out, fmt.Sprintf("CREATE INDEX ON %s (%s)", def.Table, strings.Join(def.Columns, ", ")))
+	}
+	return out
+}
+
+// Steps lists every design change, including the initial installation
+// (when the first design differs from C0) and the final teardown (when
+// the problem constrains the destination).
+func (r *Recommendation) Steps() []Step {
+	var out []Step
+	prev := r.Problem.Initial
+	for s, cfg := range r.Solution.Designs {
+		if cfg != prev {
+			out = append(out, Step{
+				StatementIndex: r.Segments[s].Start,
+				From:           prev,
+				To:             cfg,
+				DDL:            r.ddlFor(prev, cfg),
+			})
+			prev = cfg
+		}
+	}
+	if r.Problem.Final != nil && prev != *r.Problem.Final {
+		out = append(out, Step{
+			StatementIndex: r.Workload.Len(),
+			From:           prev,
+			To:             *r.Problem.Final,
+			DDL:            r.ddlFor(prev, *r.Problem.Final),
+		})
+	}
+	return out
+}
+
+// BlockDesigns summarizes the recommendation per workload label block —
+// the shape of the paper's Table 2 design columns. Each entry covers the
+// statements [Start, Start+Count) with a single block label; Design is
+// the configuration in effect at the block start (designs are constant
+// within a block whenever segmentation respected labels).
+type BlockDesign struct {
+	Block  workload.Block
+	Design core.Config
+}
+
+// PerBlock returns the design in effect at the middle of every label
+// block. Mid-block sampling is deliberate: with one stage per statement
+// the optimal switch point can drift a statement or two around a block
+// boundary (the boundary statements are random draws from either mix),
+// while the mid-block design is the one that characterizes the block.
+func (r *Recommendation) PerBlock() []BlockDesign {
+	blocks := r.Workload.BlockLabels()
+	out := make([]BlockDesign, len(blocks))
+	for i, b := range blocks {
+		out[i] = BlockDesign{Block: b, Design: r.DesignAt(b.Start + b.Count/2)}
+	}
+	return out
+}
+
+// RenderTimeline writes the design per fixed-size statement block — the
+// shape of the paper's Table 2 — for any recommendation. Designs are
+// sampled mid-block (see PerBlock). A blockSize <= 0 defaults to 1/30th
+// of the workload (30 rows, like the paper's table).
+func (r *Recommendation) RenderTimeline(w io.Writer, blockSize int) {
+	n := r.Workload.Len()
+	if blockSize <= 0 {
+		blockSize = (n + 29) / 30
+		if blockSize < 1 {
+			blockSize = 1
+		}
+	}
+	fmt.Fprintf(w, "%-16s %-6s %s\n", "statements", "mix", "design")
+	for start := 0; start < n; start += blockSize {
+		end := start + blockSize
+		if end > n {
+			end = n
+		}
+		label := ""
+		if len(r.Workload.Labels) == n {
+			label = r.Workload.Labels[start]
+		}
+		mid := start + (end-start)/2
+		fmt.Fprintf(w, "%7d-%-8d %-6s %s\n", start+1, end, label,
+			r.DesignAt(mid).Format(r.StructureNames))
+	}
+}
+
+// Render writes a human-readable report.
+func (r *Recommendation) Render(w io.Writer) {
+	fmt.Fprintf(w, "Recommendation for table %q (strategy %s, %.1f ms)\n",
+		r.Table, r.Strategy, float64(r.Elapsed.Microseconds())/1000)
+	k := "unconstrained"
+	if r.Problem.K != core.Unconstrained {
+		k = fmt.Sprintf("%d", r.Problem.K)
+	}
+	fmt.Fprintf(w, "  stages: %d   candidate configs: %d   k: %s   policy: %s\n",
+		r.Problem.Stages, len(r.Problem.Configs), k, r.Problem.Policy)
+	fmt.Fprintf(w, "  estimated sequence cost: %.0f pages   changes used: %d\n",
+		r.Solution.Cost, r.Solution.Changes)
+	steps := r.Steps()
+	if len(steps) == 0 {
+		fmt.Fprintf(w, "  design: %s for the entire workload (no changes)\n",
+			r.Solution.Designs[0].Format(r.StructureNames))
+		return
+	}
+	fmt.Fprintf(w, "  design steps:\n")
+	for _, s := range steps {
+		fmt.Fprintf(w, "    @%-6d %s -> %s\n", s.StatementIndex,
+			s.From.Format(r.StructureNames), s.To.Format(r.StructureNames))
+		for _, ddl := range s.DDL {
+			fmt.Fprintf(w, "             %s\n", ddl)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package alerter implements a lightweight physical-design alerter in
+// the spirit of Bruno & Chaudhuri's "to tune or not to tune?", which the
+// paper's related-work section (§7) proposes as the trigger for its
+// off-line optimizer: "we might rely on these technologies to trigger an
+// off-line dynamic optimizer such as the one presented here."
+//
+// The alerter observes the statement stream, keeps a sliding window of
+// what-if costs for every candidate configuration, and raises an alert
+// when some other configuration would have executed the recent window
+// sufficiently more cheaply than the configuration currently installed —
+// the signal that the workload has drifted and the advisor should be
+// re-run.
+package alerter
+
+import (
+	"fmt"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/core"
+	"dyndesign/internal/workload"
+)
+
+// Options tunes the alerter.
+type Options struct {
+	// WindowSize is the number of recent statements considered
+	// (default 500).
+	WindowSize int
+	// CheckEvery re-evaluates the window every this many statements
+	// (default 50).
+	CheckEvery int
+	// Threshold is the minimum relative improvement that triggers an
+	// alert: alert when bestCost <= (1 - Threshold) * currentCost
+	// (default 0.25).
+	Threshold float64
+	// Cooldown suppresses further alerts for this many statements after
+	// one fires (default WindowSize), so one drift yields one alert.
+	Cooldown int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WindowSize <= 0 {
+		o.WindowSize = 500
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 50
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.25
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = o.WindowSize
+	}
+	return o
+}
+
+// Alert reports that the current physical design has drifted away from
+// the recent workload.
+type Alert struct {
+	// AtStatement is the 0-based count of statements observed when the
+	// alert fired.
+	AtStatement int
+	// Current and Best are the window costs of the installed and the
+	// best candidate configuration.
+	Current, Best float64
+	// BestConfig is the candidate that would serve the window best.
+	BestConfig core.Config
+	// Improvement is 1 - Best/Current.
+	Improvement float64
+}
+
+// Alerter monitors a statement stream for physical-design drift. It is
+// not safe for concurrent use; feed it from one goroutine.
+type Alerter struct {
+	adv     *advisor.Advisor
+	configs []core.Config
+	current core.Config
+	opts    Options
+
+	// ring[i][j] is the what-if cost of the i-th window slot under
+	// configs[j]; sums[j] maintains the window total.
+	ring     [][]float64
+	sums     []float64
+	pos      int
+	filled   int
+	observed int
+	lastFire int // observed count at the last alert, -1 before any
+}
+
+// New builds an alerter over the advisor's design space. configs is the
+// candidate configuration list to watch (e.g. the same list the advisor
+// optimizes over); current is the configuration installed right now.
+func New(adv *advisor.Advisor, configs []core.Config, current core.Config, opts Options) (*Alerter, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("alerter: no candidate configurations")
+	}
+	hasCurrent := false
+	for _, c := range configs {
+		if c == current {
+			hasCurrent = true
+			break
+		}
+	}
+	if !hasCurrent {
+		return nil, fmt.Errorf("alerter: current configuration not among the candidates")
+	}
+	opts = opts.withDefaults()
+	a := &Alerter{
+		adv:      adv,
+		configs:  configs,
+		current:  current,
+		opts:     opts,
+		ring:     make([][]float64, opts.WindowSize),
+		sums:     make([]float64, len(configs)),
+		lastFire: -1,
+	}
+	for i := range a.ring {
+		a.ring[i] = make([]float64, len(configs))
+	}
+	return a, nil
+}
+
+// Current returns the configuration the alerter believes is installed.
+func (a *Alerter) Current() core.Config { return a.current }
+
+// SetCurrent informs the alerter that the design changed (e.g. after
+// re-running the advisor); it also resets the alert cooldown.
+func (a *Alerter) SetCurrent(c core.Config) error {
+	for _, cand := range a.configs {
+		if cand == c {
+			a.current = c
+			a.lastFire = -1
+			return nil
+		}
+	}
+	return fmt.Errorf("alerter: configuration not among the candidates")
+}
+
+// Observed returns how many statements the alerter has seen.
+func (a *Alerter) Observed() int { return a.observed }
+
+// Observe feeds one statement. It returns a non-nil Alert when the
+// window check fires.
+func (a *Alerter) Observe(s workload.Statement) (*Alert, error) {
+	slot := a.ring[a.pos]
+	for j, cfg := range a.configs {
+		c, err := a.adv.StatementCost(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		a.sums[j] += c - slot[j]
+		slot[j] = c
+	}
+	a.pos = (a.pos + 1) % a.opts.WindowSize
+	if a.filled < a.opts.WindowSize {
+		a.filled++
+	}
+	a.observed++
+
+	if a.filled < a.opts.WindowSize || a.observed%a.opts.CheckEvery != 0 {
+		return nil, nil
+	}
+	if a.lastFire >= 0 && a.observed-a.lastFire < a.opts.Cooldown {
+		return nil, nil
+	}
+
+	currentCost := 0.0
+	found := false
+	bestCost := 0.0
+	var bestCfg core.Config
+	for j, cfg := range a.configs {
+		if cfg == a.current {
+			currentCost = a.sums[j]
+			found = true
+		}
+		if j == 0 || a.sums[j] < bestCost {
+			bestCost = a.sums[j]
+			bestCfg = cfg
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("alerter: current configuration vanished from candidates")
+	}
+	if currentCost <= 0 || bestCost > (1-a.opts.Threshold)*currentCost {
+		return nil, nil
+	}
+	a.lastFire = a.observed
+	return &Alert{
+		AtStatement: a.observed,
+		Current:     currentCost,
+		Best:        bestCost,
+		BestConfig:  bestCfg,
+		Improvement: 1 - bestCost/currentCost,
+	}, nil
+}

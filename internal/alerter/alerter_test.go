@@ -1,0 +1,166 @@
+package alerter
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/candidates"
+	"dyndesign/internal/core"
+	"dyndesign/internal/engine"
+	"dyndesign/internal/workload"
+)
+
+const testRows = 20000
+
+func fixture(t testing.TB) (*advisor.Advisor, []core.Config) {
+	t.Helper()
+	db := engine.New()
+	db.MustExec("CREATE TABLE t (a INT, b INT, c INT, d INT)")
+	domain := workload.DomainForRows(testRows)
+	rng := rand.New(rand.NewSource(55))
+	var sb strings.Builder
+	for i := 0; i < testRows; i += 500 {
+		sb.Reset()
+		sb.WriteString("INSERT INTO t VALUES ")
+		for j := 0; j < 500; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %d, %d)",
+				rng.Int63n(domain), rng.Int63n(domain), rng.Int63n(domain), rng.Int63n(domain))
+		}
+		db.MustExec(sb.String())
+	}
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	structures := candidates.PaperStructures("t")
+	configs := advisor.SingleIndexConfigs(len(structures))
+	adv, err := advisor.New(db, advisor.DesignSpace{
+		Table: "t", Structures: structures, Configs: configs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adv, configs
+}
+
+// feed sends n statements from a mix, returning the first alert.
+func feed(t *testing.T, a *Alerter, mix workload.Mix, rng *rand.Rand, n int) *Alert {
+	t.Helper()
+	stmts, err := mix.Generate(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stmts {
+		alert, err := a.Observe(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alert != nil {
+			return alert
+		}
+	}
+	return nil
+}
+
+func TestAlerterFiresOnDrift(t *testing.T) {
+	adv, configs := fixture(t)
+	mixes := workload.PaperMixes(testRows)
+	// Start on I(a,b) — the right design for mix A.
+	current := core.ConfigOf(4)
+	a, err := New(adv, configs, current, Options{WindowSize: 200, CheckEvery: 20, Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	// Phase 1: mix A. The current design is good; no alert.
+	if alert := feed(t, a, mixes["A"], rng, 400); alert != nil {
+		t.Fatalf("false alert during the matching phase: %+v", alert)
+	}
+	// Phase 2: the workload shifts to mix C. The alerter must fire and
+	// point at a c-serving configuration.
+	alert := feed(t, a, mixes["C"], rng, 400)
+	if alert == nil {
+		t.Fatal("no alert after a major workload shift")
+	}
+	if alert.Improvement < 0.2 {
+		t.Errorf("improvement = %f", alert.Improvement)
+	}
+	best := alert.BestConfig.Structures()
+	if len(best) != 1 || (best[0] != 2 && best[0] != 5) { // I(c) or I(c,d)
+		t.Errorf("best config = %v, want a c-serving index", alert.BestConfig)
+	}
+}
+
+func TestAlerterCooldown(t *testing.T) {
+	adv, configs := fixture(t)
+	mixes := workload.PaperMixes(testRows)
+	current := core.ConfigOf(4) // I(a,b)
+	a, err := New(adv, configs, current, Options{
+		WindowSize: 100, CheckEvery: 10, Threshold: 0.2, Cooldown: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	feed(t, a, mixes["A"], rng, 150)
+	first := feed(t, a, mixes["C"], rng, 300)
+	if first == nil {
+		t.Fatal("no first alert")
+	}
+	// Continuing drift within the cooldown stays quiet.
+	if again := feed(t, a, mixes["C"], rng, 300); again != nil {
+		t.Fatalf("alert during cooldown: %+v", again)
+	}
+	// After the design is updated, a new drift fires again.
+	if err := a.SetCurrent(first.BestConfig); err != nil {
+		t.Fatal(err)
+	}
+	if alert := feed(t, a, mixes["C"], rng, 300); alert != nil {
+		t.Fatalf("alert while the design matches the workload: %+v", alert)
+	}
+	if alert := feed(t, a, mixes["A"], rng, 400); alert == nil {
+		t.Fatal("no alert after shifting back to mix A")
+	}
+}
+
+func TestAlerterNoAlertBeforeWindowFills(t *testing.T) {
+	adv, configs := fixture(t)
+	mixes := workload.PaperMixes(testRows)
+	a, err := New(adv, configs, core.ConfigOf(4), Options{WindowSize: 1000, CheckEvery: 10, Threshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	// Even on a mismatched mix, nothing fires before the window fills.
+	if alert := feed(t, a, mixes["C"], rng, 999); alert != nil {
+		t.Fatalf("alert before window filled: %+v", alert)
+	}
+	if a.Observed() != 999 {
+		t.Errorf("observed = %d", a.Observed())
+	}
+}
+
+func TestAlerterValidation(t *testing.T) {
+	adv, configs := fixture(t)
+	if _, err := New(adv, nil, 0, Options{}); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, err := New(adv, configs, core.ConfigOf(0, 1, 2), Options{}); err == nil {
+		t.Error("current config outside candidates accepted")
+	}
+	a, err := New(adv, configs, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetCurrent(core.ConfigOf(0, 1, 2)); err == nil {
+		t.Error("SetCurrent outside candidates accepted")
+	}
+	if a.Current() != 0 {
+		t.Error("failed SetCurrent changed the config")
+	}
+}

@@ -1,0 +1,67 @@
+package btree
+
+// Estimation helpers used by the what-if cost model to predict the shape
+// of a hypothetical index without building it. They use the same
+// constants as the real tree, so predictions match measurements.
+
+// BulkFillNumerator/Denominator give the bulk-load fill factor (90%).
+const (
+	bulkFillNumerator   = 9
+	bulkFillDenominator = 10
+)
+
+// LeafCapacity returns how many entries with the given key size fit in
+// one bulk-loaded leaf.
+func LeafCapacity(keyBytes int) int {
+	c := nodeBudget * bulkFillNumerator / bulkFillDenominator / leafEntrySize(make([]byte, keyBytes))
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// BranchFanout returns how many children a bulk-loaded branch node with
+// the given separator key size holds.
+func BranchFanout(keyBytes int) int {
+	c := nodeBudget*bulkFillNumerator/bulkFillDenominator/branchEntrySize(make([]byte, keyBytes)) + 1
+	if c < 2 {
+		return 2
+	}
+	return c
+}
+
+// EstimateLeafPages predicts the number of leaf pages of a bulk-loaded
+// tree with n entries of the given key size.
+func EstimateLeafPages(keyBytes int, n int64) int64 {
+	if n <= 0 {
+		return 1
+	}
+	cap := int64(LeafCapacity(keyBytes))
+	return (n + cap - 1) / cap
+}
+
+// EstimateHeight predicts the height (levels) of a bulk-loaded tree with
+// n entries of the given key size.
+func EstimateHeight(keyBytes int, n int64) int {
+	leaves := EstimateLeafPages(keyBytes, n)
+	h := 1
+	fanout := int64(BranchFanout(keyBytes))
+	for leaves > 1 {
+		leaves = (leaves + fanout - 1) / fanout
+		h++
+	}
+	return h
+}
+
+// EstimateTotalPages predicts the total node count (leaf + branch) of a
+// bulk-loaded tree with n entries of the given key size.
+func EstimateTotalPages(keyBytes int, n int64) int64 {
+	level := EstimateLeafPages(keyBytes, n)
+	total := level
+	fanout := int64(BranchFanout(keyBytes))
+	for level > 1 {
+		level = (level + fanout - 1) / fanout
+		total += level
+	}
+	return total
+}

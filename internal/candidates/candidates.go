@@ -1,0 +1,153 @@
+// Package candidates generates candidate index structures for a workload,
+// in the spirit of the candidate-selection tools the paper builds on
+// (Chaudhuri & Narasayya's index selection; index merging). The paper
+// itself takes candidates as given ("we will not be concerned with the
+// means by which they are determined"), so this package provides a
+// reasonable, deterministic generator plus the explicit candidate lists
+// used by the paper's experiments.
+package candidates
+
+import (
+	"sort"
+	"strings"
+
+	"dyndesign/internal/catalog"
+	"dyndesign/internal/sql"
+	"dyndesign/internal/workload"
+)
+
+// Options configures candidate generation.
+type Options struct {
+	// MaxWidth caps the number of key columns per candidate (default 2).
+	MaxWidth int
+	// Limit caps the number of candidates (default 64, the configuration
+	// bitset width).
+	Limit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxWidth <= 0 {
+		o.MaxWidth = 2
+	}
+	if o.Limit <= 0 || o.Limit > 64 {
+		o.Limit = 64
+	}
+	return o
+}
+
+// FromWorkload proposes candidate indexes for one table from the
+// statements of a workload:
+//
+//  1. a single-column index for every column used in an equality or
+//     range predicate;
+//  2. a covering index per statement: predicate columns first, then the
+//     other referenced columns (within MaxWidth);
+//  3. merged indexes: for every ordered pair of single-column
+//     candidates, their concatenation — the structure that lets one
+//     index serve two different statement classes (seeks on the leading
+//     column, covered scans for the second).
+//
+// Candidates are scored by how many statements reference their leading
+// column, and the top Limit survive. Output order is deterministic:
+// descending score, then name.
+func FromWorkload(w *workload.Workload, table string, opts Options) []catalog.IndexDef {
+	opts = opts.withDefaults()
+
+	type info struct {
+		def   catalog.IndexDef
+		score int
+	}
+	colRefs := make(map[string]int) // leading-column reference counts
+	seen := make(map[string]*info)
+	add := func(cols []string) {
+		if len(cols) == 0 || len(cols) > opts.MaxWidth {
+			return
+		}
+		def := catalog.IndexDef{Table: table, Columns: cols}
+		name := def.Name()
+		if _, ok := seen[name]; !ok {
+			seen[name] = &info{def: def}
+		}
+	}
+
+	var singles []string
+	singleSeen := make(map[string]bool)
+	for _, stmt := range w.Statements {
+		sel, ok := stmt.Stmt.(*sql.Select)
+		if !ok || !strings.EqualFold(sel.Table, table) {
+			continue
+		}
+		var predCols []string
+		if sel.Where != nil {
+			for _, c := range sel.Where.Conjuncts {
+				col := strings.ToLower(c.Column)
+				predCols = append(predCols, col)
+				colRefs[col]++
+				if !singleSeen[col] {
+					singleSeen[col] = true
+					singles = append(singles, col)
+				}
+				add([]string{col})
+			}
+		}
+		// Covering candidate: predicate columns then remaining referenced
+		// columns.
+		var coverCols []string
+		inCover := make(map[string]bool)
+		for _, c := range predCols {
+			if !inCover[c] {
+				inCover[c] = true
+				coverCols = append(coverCols, c)
+			}
+		}
+		for _, c := range sel.ReferencedColumns() {
+			if !inCover[c] {
+				inCover[c] = true
+				coverCols = append(coverCols, c)
+			}
+		}
+		add(coverCols)
+	}
+
+	// Merged candidates over single-column seeds.
+	sort.Strings(singles)
+	for _, x := range singles {
+		for _, y := range singles {
+			if x != y {
+				add([]string{x, y})
+			}
+		}
+	}
+
+	// Score and cap.
+	out := make([]*info, 0, len(seen))
+	for _, inf := range seen {
+		inf.score = colRefs[strings.ToLower(inf.def.Columns[0])]
+		out = append(out, inf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].def.Name() < out[j].def.Name()
+	})
+	if len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	defs := make([]catalog.IndexDef, len(out))
+	for i, inf := range out {
+		defs[i] = inf.def
+	}
+	return defs
+}
+
+// PaperStructures returns the six candidate structures of the paper's
+// experiments: I(a), I(b), I(c), I(d), I(a,b), I(c,d).
+func PaperStructures(table string) []catalog.IndexDef {
+	mk := func(cols ...string) catalog.IndexDef {
+		return catalog.IndexDef{Table: table, Columns: cols}
+	}
+	return []catalog.IndexDef{
+		mk("a"), mk("b"), mk("c"), mk("d"), mk("a", "b"), mk("c", "d"),
+	}
+}

@@ -1,0 +1,142 @@
+package candidates
+
+import (
+	"testing"
+
+	"dyndesign/internal/workload"
+)
+
+func wl(queries ...string) *workload.Workload {
+	w := &workload.Workload{}
+	for _, q := range queries {
+		w.Append("", workload.MustStatement(q))
+	}
+	return w
+}
+
+func names(defs []interface{ Name() string }) []string {
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.Name()
+	}
+	return out
+}
+
+func hasCandidate(t *testing.T, w *workload.Workload, table, want string, opts Options) bool {
+	t.Helper()
+	for _, def := range FromWorkload(w, table, opts) {
+		if def.Name() == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSingleColumnCandidates(t *testing.T) {
+	w := wl("SELECT a FROM t WHERE a = 1", "SELECT b FROM t WHERE b = 2")
+	defs := FromWorkload(w, "t", Options{})
+	got := make(map[string]bool)
+	for _, d := range defs {
+		got[d.Name()] = true
+	}
+	for _, want := range []string{"I(a)", "I(b)", "I(a,b)", "I(b,a)"} {
+		if !got[want] {
+			t.Errorf("missing candidate %s in %v", want, defs)
+		}
+	}
+}
+
+func TestCoveringCandidate(t *testing.T) {
+	w := wl("SELECT b FROM t WHERE a = 1")
+	if !hasCandidate(t, w, "t", "I(a,b)", Options{}) {
+		t.Error("covering candidate I(a,b) missing")
+	}
+	if !hasCandidate(t, w, "t", "I(a)", Options{}) {
+		t.Error("single-column candidate I(a) missing")
+	}
+}
+
+func TestMaxWidthRespected(t *testing.T) {
+	w := wl("SELECT b, c FROM t WHERE a = 1")
+	for _, d := range FromWorkload(w, "t", Options{MaxWidth: 2}) {
+		if len(d.Columns) > 2 {
+			t.Errorf("candidate %s wider than MaxWidth", d.Name())
+		}
+	}
+	// With width 3, the full covering index appears.
+	if !hasCandidate(t, w, "t", "I(a,b,c)", Options{MaxWidth: 3}) {
+		t.Error("3-wide covering candidate missing")
+	}
+}
+
+func TestLimitAndScoring(t *testing.T) {
+	// Column a dominates the workload; its candidates must survive a
+	// tight limit.
+	var queries []string
+	for i := 0; i < 20; i++ {
+		queries = append(queries, "SELECT a FROM t WHERE a = 1")
+	}
+	queries = append(queries, "SELECT z FROM t WHERE z = 1")
+	w := wl(queries...)
+	defs := FromWorkload(w, "t", Options{Limit: 2})
+	if len(defs) != 2 {
+		t.Fatalf("limit ignored: %v", defs)
+	}
+	for _, d := range defs {
+		if d.Columns[0] != "a" {
+			t.Errorf("top candidates should lead with a: %v", defs)
+		}
+	}
+}
+
+func TestOtherTablesIgnored(t *testing.T) {
+	w := wl("SELECT a FROM t WHERE a = 1", "SELECT x FROM u WHERE x = 5")
+	for _, d := range FromWorkload(w, "t", Options{}) {
+		for _, c := range d.Columns {
+			if c == "x" {
+				t.Errorf("candidate %s references another table's column", d.Name())
+			}
+		}
+	}
+}
+
+func TestRangePredicatesYieldCandidates(t *testing.T) {
+	w := wl("SELECT p FROM t WHERE p >= 10 AND p < 20")
+	if !hasCandidate(t, w, "t", "I(p)", Options{}) {
+		t.Error("range predicate produced no candidate")
+	}
+}
+
+func TestNoSelectNoCandidates(t *testing.T) {
+	w := wl("INSERT INTO t VALUES (1)")
+	if got := FromWorkload(w, "t", Options{}); len(got) != 0 {
+		t.Errorf("candidates from DML only: %v", got)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	w := wl("SELECT a FROM t WHERE a = 1", "SELECT b FROM t WHERE b = 2", "SELECT c FROM t WHERE c = 3")
+	a := FromWorkload(w, "t", Options{})
+	b := FromWorkload(w, "t", Options{})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic candidate count")
+	}
+	for i := range a {
+		if a[i].Name() != b[i].Name() {
+			t.Fatal("nondeterministic candidate order")
+		}
+	}
+}
+
+func TestPaperStructures(t *testing.T) {
+	defs := PaperStructures("t")
+	want := []string{"I(a)", "I(b)", "I(c)", "I(d)", "I(a,b)", "I(c,d)"}
+	if len(defs) != len(want) {
+		t.Fatalf("structures = %v", defs)
+	}
+	for i, d := range defs {
+		if d.Name() != want[i] || d.Table != "t" {
+			t.Errorf("structure %d = %s", i, d.Name())
+		}
+	}
+}

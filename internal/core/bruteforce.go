@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveBruteForce enumerates every feasible design sequence and returns
+// the cheapest. It is the reference implementation the other solvers are
+// verified against in tests, and is only viable for tiny instances:
+// it refuses problems with more than about two million sequences.
+func SolveBruteForce(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	configs, err := p.usableConfigs()
+	if err != nil {
+		return nil, err
+	}
+	total := 1.0
+	for i := 0; i < p.Stages; i++ {
+		total *= float64(len(configs))
+		if total > 2e6 {
+			return nil, fmt.Errorf("core: brute force over %d^%d sequences refused", len(configs), p.Stages)
+		}
+	}
+
+	current := make([]Config, p.Stages)
+	var best []Config
+	bestCost := math.Inf(1)
+
+	var walk func(stage int)
+	walk = func(stage int) {
+		if stage == p.Stages {
+			if p.K != Unconstrained && CountChanges(p.Initial, current, p.Policy) > p.K {
+				return
+			}
+			if c := p.SequenceCost(current); c < bestCost {
+				bestCost = c
+				best = append(best[:0], current...)
+			}
+			return
+		}
+		for _, cfg := range configs {
+			current[stage] = cfg
+			walk(stage + 1)
+		}
+	}
+	walk(0)
+	if best == nil {
+		return nil, fmt.Errorf("core: no design with at most %d changes exists", p.K)
+	}
+	return p.NewSolution(best), nil
+}

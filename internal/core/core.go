@@ -1,0 +1,338 @@
+// Package core implements the paper's contribution: the constrained
+// dynamic physical design problem (Definition 1) and its solvers —
+//
+//   - the unconstrained sequence-graph optimum of Agrawal, Chu and
+//     Narasayya (§3),
+//   - the optimal k-aware sequence graph (§3),
+//   - the GREEDY-SEQ candidate-reduction heuristic (§4.1),
+//   - sequential design merging (§4.2),
+//   - shortest-path ranking (§5), and
+//   - the hybrid optimizer suggested by the paper's Figure 4 (§6.4).
+//
+// The package is deliberately independent of the SQL engine: solvers see
+// only an abstract CostModel, so they can be exercised against synthetic
+// cost models and verified against brute force. The advisor package
+// binds them to the engine's what-if cost model.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Config is a physical design configuration: a bitset over the candidate
+// structure indices of the problem's design space. The empty Config is
+// the empty design.
+type Config uint64
+
+// MaxStructures is the largest number of candidate structures a Config
+// can represent.
+const MaxStructures = 64
+
+// ConfigOf builds a Config holding exactly the given structure indices.
+func ConfigOf(structures ...int) Config {
+	var c Config
+	for _, s := range structures {
+		c |= 1 << uint(s)
+	}
+	return c
+}
+
+// Has reports whether the configuration contains structure s.
+func (c Config) Has(s int) bool { return c&(1<<uint(s)) != 0 }
+
+// With returns the configuration plus structure s.
+func (c Config) With(s int) Config { return c | 1<<uint(s) }
+
+// Without returns the configuration minus structure s.
+func (c Config) Without(s int) Config { return c &^ (1 << uint(s)) }
+
+// Count returns the number of structures in the configuration.
+func (c Config) Count() int { return bits.OnesCount64(uint64(c)) }
+
+// Structures returns the structure indices in ascending order.
+func (c Config) Structures() []int {
+	out := make([]int, 0, c.Count())
+	for c != 0 {
+		s := bits.TrailingZeros64(uint64(c))
+		out = append(out, s)
+		c &= c - 1
+	}
+	return out
+}
+
+// Diff returns the structures added and removed going from c to next.
+func (c Config) Diff(next Config) (added, removed []int) {
+	return Config(next &^ c).Structures(), Config(c &^ next).Structures()
+}
+
+// Format renders the configuration using the given structure names, e.g.
+// "{I(a), I(c,d)}"; the empty configuration renders as "{}".
+func (c Config) Format(names []string) string {
+	parts := make([]string, 0, c.Count())
+	for _, s := range c.Structures() {
+		if s < len(names) {
+			parts = append(parts, names[s])
+		} else {
+			parts = append(parts, fmt.Sprintf("#%d", s))
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// CostModel supplies the three cost terms of the design problem. Models
+// must be deterministic: solvers may evaluate the same term repeatedly
+// and cache freely.
+type CostModel interface {
+	// Exec returns EXEC(S_stage, c): the cost of executing stage's
+	// statement(s) under configuration c.
+	Exec(stage int, c Config) float64
+	// Trans returns TRANS(from, to): the cost of changing the physical
+	// design from one configuration to another. Trans(c, c) must be 0.
+	Trans(from, to Config) float64
+	// Size returns SIZE(c) for the space-bound constraint.
+	Size(c Config) float64
+}
+
+// ChangePolicy selects how design changes are counted against k; see
+// DESIGN.md §3 for why two policies exist.
+type ChangePolicy int
+
+const (
+	// FreeEndpoints counts only interior changes (C_{i-1} != C_i for
+	// i in [2..n]): installing the first design and tearing down to the
+	// destination are charged TRANS cost but do not consume k. This is
+	// the policy under which the paper's Table 2 designs have k = 2
+	// changes, and the default.
+	FreeEndpoints ChangePolicy = iota
+	// CountAll is strict Definition 1: every i in [1..n] with
+	// C_{i-1} != C_i counts, including the initial installation.
+	CountAll
+)
+
+// String names the policy.
+func (p ChangePolicy) String() string {
+	switch p {
+	case FreeEndpoints:
+		return "FreeEndpoints"
+	case CountAll:
+		return "CountAll"
+	default:
+		return fmt.Sprintf("ChangePolicy(%d)", int(p))
+	}
+}
+
+// Unconstrained is the K value meaning "no change constraint".
+const Unconstrained = -1
+
+// Problem is one instance of the constrained dynamic physical design
+// problem.
+type Problem struct {
+	// Stages is n, the number of workload stages (statements or
+	// segments).
+	Stages int
+	// Configs is the candidate configuration list the design may use.
+	// It must contain Initial (and Final when set). Solvers never
+	// invent configurations outside this list.
+	Configs []Config
+	// Initial is C0, the design in place before the first stage.
+	Initial Config
+	// Final optionally constrains the design after the last stage; the
+	// transition to it is charged but never counted against K.
+	Final *Config
+	// SpaceBound is b; configurations with Size > SpaceBound are
+	// excluded. Zero or negative means unbounded.
+	SpaceBound float64
+	// K is the change bound; Unconstrained (-1) disables it.
+	K int
+	// Policy selects the change-counting rule.
+	Policy ChangePolicy
+	// Model supplies EXEC, TRANS, and SIZE.
+	Model CostModel
+}
+
+// Solution is a dynamic physical design: one configuration per stage.
+type Solution struct {
+	// Designs has one configuration per stage.
+	Designs []Config
+	// Cost is the sequence execution cost, including the transition from
+	// the initial configuration and to the final one when constrained.
+	Cost float64
+	// Changes is the number of design changes under the problem's
+	// policy.
+	Changes int
+}
+
+// Run is a maximal run of consecutive stages sharing one configuration.
+type Run struct {
+	Config Config
+	// Start is the first stage of the run; Length its stage count.
+	Start, Length int
+}
+
+// Runs compresses the design sequence into maximal constant runs — the
+// natural unit for rendering a design timeline and for the merging
+// heuristic's view of the solution.
+func (s *Solution) Runs() []Run {
+	var out []Run
+	for i, c := range s.Designs {
+		if len(out) > 0 && out[len(out)-1].Config == c {
+			out[len(out)-1].Length++
+			continue
+		}
+		out = append(out, Run{Config: c, Start: i, Length: 1})
+	}
+	return out
+}
+
+// Validate checks problem well-formedness.
+func (p *Problem) Validate() error {
+	if p.Stages <= 0 {
+		return fmt.Errorf("core: problem has %d stages", p.Stages)
+	}
+	if p.Model == nil {
+		return fmt.Errorf("core: problem has no cost model")
+	}
+	if len(p.Configs) == 0 {
+		return fmt.Errorf("core: problem has no candidate configurations")
+	}
+	seen := make(map[Config]bool, len(p.Configs))
+	hasInitial := false
+	for _, c := range p.Configs {
+		if seen[c] {
+			return fmt.Errorf("core: duplicate configuration %d in candidate list", c)
+		}
+		seen[c] = true
+		if c == p.Initial {
+			hasInitial = true
+		}
+	}
+	if !hasInitial {
+		// The initial configuration need not be usable at any stage,
+		// but TRANS from it must be defined — which the model gives us.
+		// Nothing to check beyond that.
+		_ = hasInitial
+	}
+	if p.Final != nil && !seen[*p.Final] {
+		return fmt.Errorf("core: final configuration not in candidate list")
+	}
+	if p.K < Unconstrained {
+		return fmt.Errorf("core: invalid change bound %d", p.K)
+	}
+	return nil
+}
+
+// usableConfigs filters the candidate list by the space bound.
+func (p *Problem) usableConfigs() ([]Config, error) {
+	if p.SpaceBound <= 0 {
+		return p.Configs, nil
+	}
+	out := make([]Config, 0, len(p.Configs))
+	for _, c := range p.Configs {
+		if p.Model.Size(c) <= p.SpaceBound {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no candidate configuration fits the space bound %.1f", p.SpaceBound)
+	}
+	return out, nil
+}
+
+// CountChanges counts the design changes of a sequence under a policy.
+func CountChanges(initial Config, designs []Config, policy ChangePolicy) int {
+	if len(designs) == 0 {
+		return 0
+	}
+	changes := 0
+	if policy == CountAll && designs[0] != initial {
+		changes++
+	}
+	for i := 1; i < len(designs); i++ {
+		if designs[i] != designs[i-1] {
+			changes++
+		}
+	}
+	return changes
+}
+
+// SequenceCost computes the sequence execution cost of a design
+// sequence: sum of per-stage EXEC plus every TRANS, including from the
+// initial configuration and to the final one when the problem constrains
+// it.
+func (p *Problem) SequenceCost(designs []Config) float64 {
+	total := 0.0
+	prev := p.Initial
+	for i, c := range designs {
+		total += p.Model.Trans(prev, c)
+		total += p.Model.Exec(i, c)
+		prev = c
+	}
+	if p.Final != nil {
+		total += p.Model.Trans(prev, *p.Final)
+	}
+	return total
+}
+
+// NewSolution packages a design sequence with its cost and change count.
+func (p *Problem) NewSolution(designs []Config) *Solution {
+	return &Solution{
+		Designs: designs,
+		Cost:    p.SequenceCost(designs),
+		Changes: CountChanges(p.Initial, designs, p.Policy),
+	}
+}
+
+// CheckSolution verifies that a solution is feasible for the problem:
+// right length, only candidate configurations within the space bound,
+// and within the change bound.
+func (p *Problem) CheckSolution(s *Solution) error {
+	if len(s.Designs) != p.Stages {
+		return fmt.Errorf("core: solution has %d designs for %d stages", len(s.Designs), p.Stages)
+	}
+	usable, err := p.usableConfigs()
+	if err != nil {
+		return err
+	}
+	ok := make(map[Config]bool, len(usable))
+	for _, c := range usable {
+		ok[c] = true
+	}
+	for i, c := range s.Designs {
+		if !ok[c] {
+			return fmt.Errorf("core: stage %d uses configuration outside the usable candidate set", i)
+		}
+	}
+	if got := CountChanges(p.Initial, s.Designs, p.Policy); got != s.Changes {
+		return fmt.Errorf("core: solution claims %d changes, has %d", s.Changes, got)
+	}
+	if p.K != Unconstrained && s.Changes > p.K {
+		return fmt.Errorf("core: solution has %d changes, bound is %d", s.Changes, p.K)
+	}
+	want := p.SequenceCost(s.Designs)
+	if math.Abs(want-s.Cost) > 1e-6*(1+math.Abs(want)) {
+		return fmt.Errorf("core: solution claims cost %f, recomputed %f", s.Cost, want)
+	}
+	return nil
+}
+
+// EnumerateConfigs builds every subset of numStructures structures whose
+// size (per sizeOf) is within bound (<= 0 disables the bound). It guards
+// against exponential blowup: numStructures must be at most 20.
+func EnumerateConfigs(numStructures int, sizeOf func(Config) float64, bound float64) ([]Config, error) {
+	if numStructures < 0 || numStructures > 20 {
+		return nil, fmt.Errorf("core: cannot enumerate 2^%d configurations (max 20 structures)", numStructures)
+	}
+	total := 1 << uint(numStructures)
+	out := make([]Config, 0, total)
+	for raw := 0; raw < total; raw++ {
+		c := Config(raw)
+		if bound > 0 && sizeOf != nil && sizeOf(c) > bound {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

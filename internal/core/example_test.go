@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dyndesign/internal/core"
+)
+
+// twoPhaseModel is a minimal cost model for the examples: structure 0's
+// index helps in stages 0-2, structure 1's in stages 3-5, and building
+// either costs 4.
+type twoPhaseModel struct{}
+
+func (twoPhaseModel) Exec(stage int, c core.Config) float64 {
+	helped := (stage < 3 && c.Has(0)) || (stage >= 3 && c.Has(1))
+	if helped {
+		return 1
+	}
+	return 10
+}
+
+func (twoPhaseModel) Trans(from, to core.Config) float64 {
+	added, removed := from.Diff(to)
+	return float64(4*len(added) + len(removed))
+}
+
+func (twoPhaseModel) Size(c core.Config) float64 { return float64(c.Count()) }
+
+// ExampleSolveKAware finds the optimal one-change design for a two-phase
+// workload: use index 0 for the first phase, switch to index 1 for the
+// second.
+func ExampleSolveKAware() {
+	p := &core.Problem{
+		Stages:  6,
+		Configs: []core.Config{core.ConfigOf(), core.ConfigOf(0), core.ConfigOf(1)},
+		Initial: core.ConfigOf(),
+		K:       1,
+		Model:   twoPhaseModel{},
+	}
+	sol, err := core.SolveKAware(p)
+	if err != nil {
+		panic(err)
+	}
+	names := []string{"I(x)", "I(y)"}
+	for _, run := range sol.Runs() {
+		fmt.Printf("stages %d-%d: %s\n", run.Start, run.Start+run.Length-1, run.Config.Format(names))
+	}
+	fmt.Println("changes:", sol.Changes)
+	// Output:
+	// stages 0-2: {I(x)}
+	// stages 3-5: {I(y)}
+	// changes: 1
+}
+
+// ExampleSolveMerge refines an unconstrained optimum down to a
+// zero-change (static) design.
+func ExampleSolveMerge() {
+	p := &core.Problem{
+		Stages:  6,
+		Configs: []core.Config{core.ConfigOf(), core.ConfigOf(0), core.ConfigOf(1)},
+		Initial: core.ConfigOf(),
+		K:       core.Unconstrained,
+		Model:   twoPhaseModel{},
+	}
+	seed, err := core.SolveUnconstrained(p)
+	if err != nil {
+		panic(err)
+	}
+	constrained := *p
+	constrained.K = 0
+	sol, steps, err := core.SolveMerge(&constrained, seed)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("merge steps:", steps)
+	fmt.Println("static design:", sol.Designs[0].Format([]string{"I(x)", "I(y)"}))
+	fmt.Println("changes:", sol.Changes)
+	// Output:
+	// merge steps: 1
+	// static design: {I(x)}
+	// changes: 0
+}

@@ -1,0 +1,78 @@
+package core
+
+import "math"
+
+// SolveGreedySeq implements the GREEDY-SEQ-based heuristic of §4.1: the
+// exponential candidate configuration space is first reduced to a small
+// set — the best configuration for each statement considered in
+// isolation, plus pairwise unions of consecutive distinct bests (the
+// "merged" candidates of Agrawal et al.), the initial configuration, and
+// the final one when constrained — and the k-aware sequence graph is
+// then solved over the reduced set.
+//
+// The poster sketches rather than specifies the candidate generation; we
+// follow the O(m·n) shape it states. The result is feasible but not
+// guaranteed optimal. The reduced candidate list is returned alongside
+// the solution for inspection.
+func SolveGreedySeq(p *Problem) (*Solution, []Config, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	configs, err := p.usableConfigs()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// The reduced set must stay inside the problem's usable candidate
+	// space: a union of two candidates is only admissible when the
+	// problem itself allows that configuration (the paper's experiments,
+	// for example, restrict configurations to at most one index).
+	allowed := make(map[Config]bool, len(configs))
+	for _, c := range configs {
+		allowed[c] = true
+	}
+
+	// Per-stage best configuration by execution cost alone.
+	best := make([]Config, p.Stages)
+	for i := 0; i < p.Stages; i++ {
+		bc := configs[0]
+		bv := math.Inf(1)
+		for _, c := range configs {
+			if v := p.Model.Exec(i, c); v < bv {
+				bv = v
+				bc = c
+			}
+		}
+		best[i] = bc
+	}
+
+	// Reduced candidate set.
+	seen := make(map[Config]bool)
+	var reduced []Config
+	add := func(c Config) {
+		if !seen[c] && allowed[c] {
+			seen[c] = true
+			reduced = append(reduced, c)
+		}
+	}
+	add(p.Initial)
+	if p.Final != nil {
+		add(*p.Final)
+	}
+	for i, c := range best {
+		add(c)
+		if i > 0 && best[i-1] != c {
+			add(best[i-1] | c) // union of consecutive distinct bests
+		}
+	}
+
+	sub := *p
+	sub.Configs = reduced
+	sol, err := SolveKAware(&sub)
+	if err != nil {
+		return nil, reduced, err
+	}
+	// Re-wrap against the original problem so cost/changes metadata use
+	// the caller's problem (identical model, so values carry over).
+	return p.NewSolution(sol.Designs), reduced, nil
+}

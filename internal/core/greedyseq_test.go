@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Regression test: GREEDY-SEQ's merged candidates (unions of consecutive
+// per-stage bests) must never leave the problem's candidate space. An
+// earlier version added unions unconditionally and "beat" the optimum on
+// the paper's at-most-one-index space by holding two indexes at once.
+func TestGreedySeqRespectsCandidateSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	m, _ := randomModel(rng, 10, 2)
+	// Restricted space: empty, {0}, {1} — the union {0,1} is illegal.
+	restricted := []Config{ConfigOf(), ConfigOf(0), ConfigOf(1)}
+	p := &Problem{Stages: 10, Configs: restricted, Initial: 0, K: 2, Model: m}
+	optimal, err := SolveKAware(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, reduced, err := SolveGreedySeq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range reduced {
+		if c == ConfigOf(0, 1) {
+			t.Fatal("reduced candidates contain the illegal union {0,1}")
+		}
+	}
+	if err := p.CheckSolution(sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost < optimal.Cost-1e-6 {
+		t.Fatalf("greedy %f beats optimal %f on a restricted space", sol.Cost, optimal.Cost)
+	}
+}
+
+// With an unrestricted space, the merged union candidates are admissible
+// and must appear when consecutive bests differ.
+func TestGreedySeqUsesUnionsWhenAllowed(t *testing.T) {
+	// Two structures; stage 0 strongly favours {0}, stage 1 favours {1}.
+	m := &tableModel{
+		exec: [][]float64{
+			{100, 1, 100, 50}, // configs 0..3 at stage 0
+			{100, 100, 1, 50}, // stage 1
+		},
+		trans: [][]float64{
+			{0, 10, 10, 10},
+			{10, 0, 10, 10},
+			{10, 10, 0, 10},
+			{10, 10, 10, 0},
+		},
+		size: []float64{0, 1, 1, 2},
+	}
+	configs := []Config{0, 1, 2, 3}
+	p := &Problem{Stages: 2, Configs: configs, Initial: 0, K: 0, Model: m}
+	_, reduced, err := SolveGreedySeq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range reduced {
+		if c == ConfigOf(0, 1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("union candidate missing from reduced set %v", reduced)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import "fmt"
+
+// HybridChoice names the technique a hybrid solve actually ran.
+type HybridChoice string
+
+// Hybrid outcomes.
+const (
+	ChoseUnconstrained HybridChoice = "unconstrained" // the optimum already satisfied K
+	ChoseKAware        HybridChoice = "kaware"
+	ChoseMerge         HybridChoice = "merge"
+)
+
+// SolveHybrid implements the combination §6.4 suggests: the k-aware
+// graph's cost grows linearly in K while merging's shrinks as K
+// approaches the unconstrained optimum's change count l, so the solver
+// picks whichever is predicted cheaper for the instance at hand.
+//
+// It first computes the unconstrained optimum (both branches need it or
+// something at least as expensive). If that already has at most K
+// changes it is returned as-is — it is optimal for the constrained
+// problem too. Otherwise the work estimates
+//
+//	kaware ≈ (K+1) · n · m²      (layered DAG relaxation)
+//	merge  ≈ (l−K) · l · m       (merge steps × pairs × candidates)
+//
+// decide the branch. The choice made is reported for the ablation
+// benchmarks that validate the switch-over point.
+func SolveHybrid(p *Problem) (*Solution, HybridChoice, error) {
+	if err := p.Validate(); err != nil {
+		return nil, "", err
+	}
+	if p.K == Unconstrained {
+		sol, err := SolveUnconstrained(p)
+		return sol, ChoseUnconstrained, err
+	}
+	unconstrained := *p
+	unconstrained.K = Unconstrained
+	seed, err := SolveUnconstrained(&unconstrained)
+	if err != nil {
+		return nil, "", err
+	}
+	l := CountChanges(p.Initial, seed.Designs, p.Policy)
+	if l <= p.K {
+		// Optimal and feasible: re-wrap under the constrained problem so
+		// the change count reflects its policy.
+		return p.NewSolution(seed.Designs), ChoseUnconstrained, nil
+	}
+	usable, err := p.usableConfigs()
+	if err != nil {
+		return nil, "", err
+	}
+	m := float64(len(usable))
+	n := float64(p.Stages)
+	kawareWork := float64(p.K+1) * n * m * m
+	mergeWork := float64(l-p.K) * float64(l) * m
+	if kawareWork <= mergeWork {
+		sol, err := SolveKAware(p)
+		return sol, ChoseKAware, err
+	}
+	sol, _, err := SolveMerge(p, seed)
+	return sol, ChoseMerge, err
+}
+
+// Strategy names a constrained-design solution technique; the advisor
+// exposes these to users and the CLI.
+type Strategy string
+
+// Strategies.
+const (
+	StrategyKAware       Strategy = "kaware"
+	StrategyGreedySeq    Strategy = "greedyseq"
+	StrategyMerge        Strategy = "merge"
+	StrategyRanking      Strategy = "ranking"
+	StrategyRankAndMerge Strategy = "rankmerge"
+	StrategyHybrid       Strategy = "hybrid"
+)
+
+// Strategies lists every available strategy.
+func Strategies() []Strategy {
+	return []Strategy{
+		StrategyKAware, StrategyGreedySeq, StrategyMerge,
+		StrategyRanking, StrategyRankAndMerge, StrategyHybrid,
+	}
+}
+
+// Solve dispatches a problem to the named strategy with default options.
+func Solve(p *Problem, strategy Strategy) (*Solution, error) {
+	switch strategy {
+	case StrategyKAware, "":
+		return SolveKAware(p)
+	case StrategyGreedySeq:
+		sol, _, err := SolveGreedySeq(p)
+		return sol, err
+	case StrategyMerge:
+		sol, _, err := SolveMergeFromUnconstrained(p)
+		return sol, err
+	case StrategyRanking:
+		res, err := SolveRanking(p, RankingOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if res.Exhausted {
+			return nil, fmt.Errorf("core: ranking budget exhausted after %d expansions", res.Expansions)
+		}
+		return res.Solution, nil
+	case StrategyRankAndMerge:
+		return SolveRankAndMerge(p, RankingOptions{})
+	case StrategyHybrid:
+		sol, _, err := SolveHybrid(p)
+		return sol, err
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q", strategy)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveKAware finds the optimal change-constrained dynamic physical
+// design via the paper's k-aware sequence graph (§3): the sequence graph
+// replicated into K+1 layers, where layer l holds the paths that have
+// made exactly l design changes so far. Staying in a configuration keeps
+// the layer; switching moves one layer down. The shortest path over the
+// layered DAG is the constrained optimum, found in O(K·n·m²).
+//
+// With K == Unconstrained it reduces to SolveUnconstrained.
+func SolveKAware(p *Problem) (*Solution, error) {
+	if p.K == Unconstrained {
+		return SolveUnconstrained(p)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	configs, err := p.usableConfigs()
+	if err != nil {
+		return nil, err
+	}
+	m := p.buildMatrices(configs)
+	nc := len(configs)
+	layers := p.K + 1
+
+	idx := func(c, l int) int { return c*layers + l }
+	inf := math.Inf(1)
+
+	// cost[idx(c,l)] is the cheapest way to execute stages [0..i] with
+	// stage i under configs[c] and l changes counted so far.
+	cost := make([]float64, nc*layers)
+	for i := range cost {
+		cost[i] = inf
+	}
+	for j, c := range configs {
+		startLayer := 0
+		if p.Policy == CountAll && c != p.Initial {
+			startLayer = 1
+		}
+		if startLayer >= layers {
+			continue // K = 0 under CountAll: only the initial design is usable
+		}
+		cost[idx(j, startLayer)] = m.initTrans[j] + m.exec[0][j]
+	}
+
+	// parents[i][idx(c,l)] is the configuration used at stage i-1; the
+	// predecessor layer is l when the configuration is unchanged and l-1
+	// otherwise.
+	parents := make([][]int32, p.Stages)
+	next := make([]float64, nc*layers)
+	for i := 1; i < p.Stages; i++ {
+		parent := make([]int32, nc*layers)
+		for x := range next {
+			next[x] = inf
+			parent[x] = -1
+		}
+		for f := 0; f < nc; f++ {
+			for l := 0; l < layers; l++ {
+				v := cost[idx(f, l)]
+				if math.IsInf(v, 1) {
+					continue
+				}
+				// Stay in the same configuration: same layer.
+				stay := v + m.exec[i][f]
+				if stay < next[idx(f, l)] {
+					next[idx(f, l)] = stay
+					parent[idx(f, l)] = int32(f)
+				}
+				// Switch configurations: one layer deeper.
+				if l+1 >= layers {
+					continue
+				}
+				for j := 0; j < nc; j++ {
+					if j == f {
+						continue
+					}
+					sw := v + m.trans[f][j] + m.exec[i][j]
+					if sw < next[idx(j, l+1)] {
+						next[idx(j, l+1)] = sw
+						parent[idx(j, l+1)] = int32(f)
+					}
+				}
+			}
+		}
+		cost, next = next, cost
+		parents[i] = parent
+	}
+
+	bestCfg, bestLayer := -1, -1
+	bestCost := inf
+	for j := 0; j < nc; j++ {
+		for l := 0; l < layers; l++ {
+			v := cost[idx(j, l)]
+			if math.IsInf(v, 1) {
+				continue
+			}
+			if m.finalTrans != nil {
+				v += m.finalTrans[j]
+			}
+			if v < bestCost {
+				bestCost = v
+				bestCfg, bestLayer = j, l
+			}
+		}
+	}
+	if bestCfg < 0 {
+		return nil, fmt.Errorf("core: no design with at most %d changes exists", p.K)
+	}
+
+	designs := make([]Config, p.Stages)
+	c, l := bestCfg, bestLayer
+	for i := p.Stages - 1; i >= 0; i-- {
+		designs[i] = configs[c]
+		if i == 0 {
+			break
+		}
+		prev := int(parents[i][idx(c, l)])
+		if prev != c {
+			l--
+		}
+		c = prev
+	}
+	return p.NewSolution(designs), nil
+}

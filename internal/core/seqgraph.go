@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// changeEpsilon is a tie-breaking perturbation added to every
+// inter-configuration edge inside the graph solvers: among equal-cost
+// design sequences, the one with fewer changes wins. It is orders of
+// magnitude below any meaningful page-cost difference and never appears
+// in reported costs (solutions recompute their cost from the model).
+const changeEpsilon = 1e-9
+
+// matrices precomputes every cost term a graph solver needs: EXEC per
+// (stage, configuration), TRANS between every configuration pair, and
+// the endpoint transitions. Solvers then run on dense float64 tables.
+type matrices struct {
+	configs    []Config
+	exec       [][]float64 // [stage][cfg]
+	trans      [][]float64 // [fromCfg][toCfg]
+	initTrans  []float64   // TRANS(C0, cfg)
+	finalTrans []float64   // TRANS(cfg, Final); nil when unconstrained
+}
+
+// buildMatrices evaluates the cost model into dense tables over the
+// given configuration list.
+func (p *Problem) buildMatrices(configs []Config) *matrices {
+	m := &matrices{configs: configs}
+	m.exec = make([][]float64, p.Stages)
+	for i := 0; i < p.Stages; i++ {
+		row := make([]float64, len(configs))
+		for j, c := range configs {
+			row[j] = p.Model.Exec(i, c)
+		}
+		m.exec[i] = row
+	}
+	m.trans = make([][]float64, len(configs))
+	for i, from := range configs {
+		row := make([]float64, len(configs))
+		for j, to := range configs {
+			if i == j {
+				row[j] = 0
+				continue
+			}
+			row[j] = p.Model.Trans(from, to) + changeEpsilon
+		}
+		m.trans[i] = row
+	}
+	m.initTrans = make([]float64, len(configs))
+	for j, c := range configs {
+		if c == p.Initial {
+			continue
+		}
+		// Endpoint transitions get half the perturbation so equal-cost
+		// ties prefer changing at the (free) endpoints over interior
+		// changes that count against k.
+		m.initTrans[j] = p.Model.Trans(p.Initial, c) + changeEpsilon/2
+	}
+	if p.Final != nil {
+		m.finalTrans = make([]float64, len(configs))
+		for j, c := range configs {
+			if c == *p.Final {
+				continue
+			}
+			m.finalTrans[j] = p.Model.Trans(c, *p.Final) + changeEpsilon/2
+		}
+	}
+	return m
+}
+
+// SolveUnconstrained finds the optimal dynamic physical design with no
+// change bound: the shortest path through the sequence graph of Agrawal,
+// Chu and Narasayya. The sequence graph is a DAG with one node per
+// (stage, configuration); the shortest path is computed stage by stage
+// in O(n·m²) for m candidate configurations.
+func SolveUnconstrained(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	configs, err := p.usableConfigs()
+	if err != nil {
+		return nil, err
+	}
+	m := p.buildMatrices(configs)
+	nc := len(configs)
+
+	cost := make([]float64, nc)
+	for j := 0; j < nc; j++ {
+		cost[j] = m.initTrans[j] + m.exec[0][j]
+	}
+	parents := make([][]int32, p.Stages)
+	next := make([]float64, nc)
+	for i := 1; i < p.Stages; i++ {
+		parent := make([]int32, nc)
+		for j := 0; j < nc; j++ {
+			best := math.Inf(1)
+			bestFrom := int32(-1)
+			for f := 0; f < nc; f++ {
+				if v := cost[f] + m.trans[f][j]; v < best {
+					best = v
+					bestFrom = int32(f)
+				}
+			}
+			next[j] = best + m.exec[i][j]
+			parent[j] = bestFrom
+		}
+		cost, next = next, cost
+		parents[i] = parent
+	}
+
+	bestEnd := -1
+	bestCost := math.Inf(1)
+	for j := 0; j < nc; j++ {
+		v := cost[j]
+		if m.finalTrans != nil {
+			v += m.finalTrans[j]
+		}
+		if v < bestCost {
+			bestCost = v
+			bestEnd = j
+		}
+	}
+	if bestEnd < 0 {
+		return nil, fmt.Errorf("core: unconstrained problem has no feasible design")
+	}
+	designs := make([]Config, p.Stages)
+	j := int32(bestEnd)
+	for i := p.Stages - 1; i >= 0; i-- {
+		designs[i] = configs[j]
+		if i > 0 {
+			j = parents[i][j]
+		}
+	}
+	return p.NewSolution(designs), nil
+}

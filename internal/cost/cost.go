@@ -1,0 +1,608 @@
+// Package cost implements the engine's cost model. It has two clients
+// that must always agree:
+//
+//   - the planner, which costs access paths over the *real* indexes of a
+//     table and picks the cheapest, and
+//   - the design advisor's what-if interface, which costs statements
+//     under *hypothetical* configurations that are never materialized —
+//     this is EXEC(S,C) of the paper, plus the TRANS and SIZE terms.
+//
+// Both go through the same ChooseAccess function over the same physical
+// descriptions, so "what the advisor assumed" and "what execution pays"
+// are the same quantity: logical page accesses.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dyndesign/internal/btree"
+	"dyndesign/internal/catalog"
+	"dyndesign/internal/sql"
+	"dyndesign/internal/stats"
+	"dyndesign/internal/storage"
+	"dyndesign/internal/types"
+)
+
+// Default selectivities used when no statistics are available.
+const (
+	defaultEqSelectivity    = 0.005
+	defaultRangeSelectivity = 0.3
+)
+
+// encodedValueBytes estimates the encoded key width of one column.
+func encodedValueBytes(kind types.Kind) int {
+	switch kind {
+	case types.KindInt:
+		return 9 // tag + 8 bytes
+	default:
+		return 19 // tag + ~16 payload + terminator
+	}
+}
+
+// TablePhys is the physical description of a table: what the cost model
+// needs to know about it.
+type TablePhys struct {
+	Name      string
+	Schema    *types.Schema
+	Rows      float64
+	HeapPages float64
+	Stats     *stats.TableStats // nil disables statistics-based estimates
+}
+
+// IndexPhys is the physical description of an index, real or
+// hypothetical.
+type IndexPhys struct {
+	Def        catalog.IndexDef
+	KeyCols    []int // ordinals of key columns in the table schema
+	KeyBytes   int   // encoded composite key width
+	Height     float64
+	LeafPages  float64
+	TotalPages float64 // SIZE(·) contribution in pages
+}
+
+// Covers reports whether every ordinal in need appears among the index
+// key columns.
+func (ip *IndexPhys) Covers(need []int) bool {
+	for _, n := range need {
+		found := false
+		for _, c := range ip.KeyCols {
+			if c == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// HypotheticalIndex predicts the physical shape of an index that does not
+// exist, from the table description alone. This is the what-if half of
+// the model: the prediction uses the same fill factors as a real bulk
+// load, so a subsequently built index matches it closely.
+func HypotheticalIndex(def catalog.IndexDef, t TablePhys) (IndexPhys, error) {
+	ip := IndexPhys{Def: def}
+	for _, name := range def.Columns {
+		ord := t.Schema.ColumnIndex(name)
+		if ord < 0 {
+			return IndexPhys{}, fmt.Errorf("cost: table %q has no column %q", t.Name, name)
+		}
+		ip.KeyCols = append(ip.KeyCols, ord)
+		ip.KeyBytes += encodedValueBytes(t.Schema.Columns[ord].Kind)
+	}
+	rows := int64(t.Rows)
+	ip.LeafPages = float64(btree.EstimateLeafPages(ip.KeyBytes, rows))
+	ip.Height = float64(btree.EstimateHeight(ip.KeyBytes, rows))
+	ip.TotalPages = float64(btree.EstimateTotalPages(ip.KeyBytes, rows))
+	return ip, nil
+}
+
+// AccessKind enumerates the access paths the planner considers.
+type AccessKind int
+
+// Access paths.
+const (
+	HeapScan AccessKind = iota
+	IndexSeek
+	IndexOnlyScan
+)
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case HeapScan:
+		return "HeapScan"
+	case IndexSeek:
+		return "IndexSeek"
+	case IndexOnlyScan:
+		return "IndexOnlyScan"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// RangeSpec describes a one-column range bound following the equality
+// prefix of an index seek.
+type RangeSpec struct {
+	Low, High                   *types.Value // nil = unbounded
+	LowInclusive, HighInclusive bool
+}
+
+// Access is a costed access path.
+type Access struct {
+	Kind  AccessKind
+	Index *IndexPhys // nil for HeapScan
+	// EqVals are the values of the leading equality prefix (IndexSeek).
+	EqVals []types.Value
+	// Range optionally bounds the key column right after the prefix.
+	Range *RangeSpec
+	// In optionally lists the values of an IN predicate on the key
+	// column right after the prefix (mutually exclusive with Range);
+	// execution runs one sub-seek per value.
+	In []types.Value
+	// Covering is true when the index contains every referenced column,
+	// so no heap lookups are needed.
+	Covering bool
+	// Consumed are indices into the statement's conjunct list that the
+	// access path satisfies; the rest are residual filters.
+	Consumed []int
+	// EstMatchRows estimates rows matching the seek predicate (before
+	// residual filtering).
+	EstMatchRows float64
+	// EstResultRows estimates rows after all predicates.
+	EstResultRows float64
+	// PageCost is the estimated logical page accesses.
+	PageCost float64
+}
+
+// String summarizes the access path for EXPLAIN output.
+func (a Access) String() string {
+	switch a.Kind {
+	case HeapScan:
+		return fmt.Sprintf("HeapScan cost=%.1f rows=%.1f", a.PageCost, a.EstResultRows)
+	case IndexSeek:
+		cov := ""
+		if a.Covering {
+			cov = " covering"
+		}
+		return fmt.Sprintf("IndexSeek %s eq=%d%s cost=%.1f rows=%.1f",
+			a.Index.Def.Name(), len(a.EqVals), cov, a.PageCost, a.EstResultRows)
+	case IndexOnlyScan:
+		return fmt.Sprintf("IndexOnlyScan %s cost=%.1f rows=%.1f",
+			a.Index.Def.Name(), a.PageCost, a.EstResultRows)
+	default:
+		return "unknown access"
+	}
+}
+
+// selEq estimates the selectivity of column = v.
+func selEq(t TablePhys, col string, v types.Value) float64 {
+	if t.Stats != nil {
+		if cs := t.Stats.Column(col); cs != nil {
+			return cs.SelectivityEq(v)
+		}
+	}
+	return defaultEqSelectivity
+}
+
+// selRange estimates the selectivity of a range over one column.
+func selRange(t TablePhys, col string, r RangeSpec) float64 {
+	if t.Stats == nil {
+		return defaultRangeSelectivity
+	}
+	cs := t.Stats.Column(col)
+	if cs == nil {
+		return defaultRangeSelectivity
+	}
+	frac := cs.SelectivityRange(r.Low, r.High) // [low, high)
+	if r.Low != nil && !r.LowInclusive {
+		frac -= cs.SelectivityEq(*r.Low)
+	}
+	if r.High != nil && r.HighInclusive {
+		frac += cs.SelectivityEq(*r.High)
+	}
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// conjunctSelectivity estimates one conjunct's selectivity in isolation.
+func conjunctSelectivity(t TablePhys, c sql.Comparison) float64 {
+	switch c.Op {
+	case sql.OpEq:
+		return selEq(t, c.Column, c.Value)
+	case sql.OpIn:
+		total := 0.0
+		for _, v := range c.Values {
+			total += selEq(t, c.Column, v)
+		}
+		if total > 1 {
+			return 1
+		}
+		return total
+	case sql.OpLt:
+		return selRange(t, c.Column, RangeSpec{High: &c.Value})
+	case sql.OpLe:
+		return selRange(t, c.Column, RangeSpec{High: &c.Value, HighInclusive: true})
+	case sql.OpGt:
+		return selRange(t, c.Column, RangeSpec{Low: &c.Value})
+	case sql.OpGe:
+		return selRange(t, c.Column, RangeSpec{Low: &c.Value, LowInclusive: true})
+	default:
+		return defaultRangeSelectivity
+	}
+}
+
+// ChooseAccess enumerates the access paths available for a SELECT over
+// the given physical table and indexes, and returns the cheapest. Ties
+// break deterministically: lower cost, then seek over index-only scan
+// over heap scan, then index name.
+func ChooseAccess(sel *sql.Select, t TablePhys, indexes []IndexPhys) (Access, error) {
+	if err := validateSelect(sel, t.Schema); err != nil {
+		return Access{}, err
+	}
+	// Referenced column ordinals decide covering. SELECT * references
+	// every column.
+	var need []int
+	if len(sel.Columns) == 0 && !sel.CountStar && !sel.HasAggregates() {
+		for i := 0; i < t.Schema.Len(); i++ {
+			need = append(need, i)
+		}
+	} else {
+		for _, name := range sel.ReferencedColumns() {
+			need = append(need, t.Schema.ColumnIndex(name))
+		}
+	}
+	resultRows := t.Rows
+	var conjuncts []sql.Comparison
+	if sel.Where != nil {
+		conjuncts = sel.Where.Conjuncts
+	}
+	for _, c := range conjuncts {
+		resultRows *= conjunctSelectivity(t, c)
+	}
+
+	candidates := []Access{{
+		Kind:          HeapScan,
+		EstMatchRows:  t.Rows,
+		EstResultRows: resultRows,
+		PageCost:      math.Max(1, t.HeapPages),
+	}}
+	for i := range indexes {
+		ip := &indexes[i]
+		covering := ip.Covers(need)
+		if a, ok := seekAccess(sel, t, ip, conjuncts, covering, resultRows); ok {
+			candidates = append(candidates, a)
+		}
+		if covering {
+			candidates = append(candidates, Access{
+				Kind:          IndexOnlyScan,
+				Index:         ip,
+				Covering:      true,
+				EstMatchRows:  t.Rows,
+				EstResultRows: resultRows,
+				PageCost:      ip.Height + ip.LeafPages,
+			})
+		}
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		if candidates[i].PageCost != candidates[j].PageCost {
+			return candidates[i].PageCost < candidates[j].PageCost
+		}
+		ri, rj := kindRank(candidates[i].Kind), kindRank(candidates[j].Kind)
+		if ri != rj {
+			return ri < rj
+		}
+		return indexName(candidates[i]) < indexName(candidates[j])
+	})
+	return candidates[0], nil
+}
+
+func kindRank(k AccessKind) int {
+	switch k {
+	case IndexSeek:
+		return 0
+	case IndexOnlyScan:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func indexName(a Access) string {
+	if a.Index == nil {
+		return ""
+	}
+	return a.Index.Def.Name()
+}
+
+// seekAccess builds the best seek on one index: the longest leading
+// equality prefix, optionally extended by a range on the next key column.
+func seekAccess(sel *sql.Select, t TablePhys, ip *IndexPhys, conjuncts []sql.Comparison, covering bool, resultRows float64) (Access, bool) {
+	a := Access{Kind: IndexSeek, Index: ip, Covering: covering}
+	sel1 := 1.0
+	used := make(map[int]bool)
+
+	// Leading equality prefix.
+	for _, keyCol := range ip.KeyCols {
+		found := -1
+		for ci, c := range conjuncts {
+			if used[ci] || c.Op != sql.OpEq {
+				continue
+			}
+			if t.Schema.ColumnIndex(c.Column) == keyCol {
+				found = ci
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		used[found] = true
+		a.Consumed = append(a.Consumed, found)
+		a.EqVals = append(a.EqVals, conjuncts[found].Value)
+		sel1 *= selEq(t, conjuncts[found].Column, conjuncts[found].Value)
+	}
+
+	// Optional IN list or range on the next key column. An IN predicate
+	// is preferred: it seeks exactly its values instead of spanning them.
+	if len(a.EqVals) < len(ip.KeyCols) {
+		next := ip.KeyCols[len(a.EqVals)]
+		for ci, c := range conjuncts {
+			if used[ci] || c.Op != sql.OpIn || t.Schema.ColumnIndex(c.Column) != next {
+				continue
+			}
+			a.In = c.Values
+			a.Consumed = append(a.Consumed, ci)
+			used[ci] = true
+			inSel := 0.0
+			for _, v := range c.Values {
+				inSel += selEq(t, c.Column, v)
+			}
+			if inSel > 1 {
+				inSel = 1
+			}
+			sel1 *= inSel
+			break
+		}
+	}
+	if a.In == nil && len(a.EqVals) < len(ip.KeyCols) {
+		next := ip.KeyCols[len(a.EqVals)]
+		var r RangeSpec
+		var consumed []int
+		for ci, c := range conjuncts {
+			if used[ci] || t.Schema.ColumnIndex(c.Column) != next {
+				continue
+			}
+			v := c.Value
+			switch c.Op {
+			case sql.OpGt, sql.OpGe:
+				incl := c.Op == sql.OpGe
+				if r.Low == nil || v.Compare(*r.Low) > 0 || (v.Compare(*r.Low) == 0 && !incl) {
+					r.Low, r.LowInclusive = &v, incl
+				}
+				consumed = append(consumed, ci)
+			case sql.OpLt, sql.OpLe:
+				incl := c.Op == sql.OpLe
+				if r.High == nil || v.Compare(*r.High) < 0 || (v.Compare(*r.High) == 0 && !incl) {
+					r.High, r.HighInclusive = &v, incl
+				}
+				consumed = append(consumed, ci)
+			}
+		}
+		if r.Low != nil || r.High != nil {
+			colName := t.Schema.Columns[next].Name
+			a.Range = &r
+			a.Consumed = append(a.Consumed, consumed...)
+			sel1 *= selRange(t, colName, r)
+		}
+	}
+
+	if len(a.EqVals) == 0 && a.Range == nil && a.In == nil {
+		return Access{}, false // nothing to seek on
+	}
+	a.EstMatchRows = t.Rows * sel1
+	a.EstResultRows = resultRows
+	// Pages: descents + matched leaf pages + heap fetches unless
+	// covering. An IN seek descends once per value.
+	descents := 1.0
+	if a.In != nil {
+		descents = float64(len(a.In))
+	}
+	leafFrac := 1.0
+	if t.Rows > 0 {
+		leafFrac = a.EstMatchRows / t.Rows
+	}
+	matchedLeaves := math.Max(descents, math.Ceil(ip.LeafPages*leafFrac))
+	a.PageCost = descents*ip.Height + matchedLeaves
+	if !covering {
+		a.PageCost += a.EstMatchRows
+	}
+	return a, true
+}
+
+// validateSelect checks that every referenced column exists and that
+// predicate literal kinds match the column kinds.
+func validateSelect(sel *sql.Select, schema *types.Schema) error {
+	check := func(col string) error {
+		if schema.ColumnIndex(col) < 0 {
+			return fmt.Errorf("cost: unknown column %q", col)
+		}
+		return nil
+	}
+	for _, c := range sel.Columns {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
+	for _, agg := range sel.Aggregates() {
+		if agg.Column == "" {
+			if agg.Func != sql.AggCount {
+				return fmt.Errorf("cost: %s(*) is not valid", agg.Func)
+			}
+			continue
+		}
+		if err := check(agg.Column); err != nil {
+			return err
+		}
+		if agg.Func == sql.AggSum || agg.Func == sql.AggAvg {
+			ord := schema.ColumnIndex(agg.Column)
+			if schema.Columns[ord].Kind != types.KindInt {
+				return fmt.Errorf("cost: %s over non-integer column %q", agg.Func, agg.Column)
+			}
+		}
+	}
+	if sel.GroupBy != "" {
+		if err := check(sel.GroupBy); err != nil {
+			return err
+		}
+	}
+	// With aggregates, every plain select-list column must be the
+	// grouping column.
+	if sel.HasAggregates() {
+		for _, c := range sel.Columns {
+			if sel.GroupBy == "" || !strings.EqualFold(c, sel.GroupBy) {
+				return fmt.Errorf("cost: column %q in an aggregate query must be the GROUP BY column", c)
+			}
+		}
+	}
+	if sel.Order != nil {
+		if err := check(sel.Order.Column); err != nil {
+			return err
+		}
+		if sel.HasAggregates() && (sel.GroupBy == "" || !strings.EqualFold(sel.Order.Column, sel.GroupBy)) {
+			return fmt.Errorf("cost: ORDER BY in an aggregate query must use the GROUP BY column")
+		}
+	}
+	if sel.Where != nil {
+		for _, c := range sel.Where.Conjuncts {
+			if err := check(c.Column); err != nil {
+				return err
+			}
+			ord := schema.ColumnIndex(c.Column)
+			if c.Op == sql.OpIn {
+				if len(c.Values) == 0 {
+					return fmt.Errorf("cost: empty IN list on %q", c.Column)
+				}
+				for _, v := range c.Values {
+					if schema.Columns[ord].Kind != v.Kind {
+						return fmt.Errorf("cost: IN list on %q compares %s to %s",
+							c.Column, schema.Columns[ord].Kind, v.Kind)
+					}
+				}
+				continue
+			}
+			if schema.Columns[ord].Kind != c.Value.Kind {
+				return fmt.Errorf("cost: predicate on %q compares %s to %s",
+					c.Column, schema.Columns[ord].Kind, c.Value.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// --- Statement-level costing (EXEC) and configuration terms ----------
+
+// SelectCost estimates the page cost of a SELECT under the given
+// physical table and index set.
+func SelectCost(sel *sql.Select, t TablePhys, indexes []IndexPhys) (float64, error) {
+	a, err := ChooseAccess(sel, t, indexes)
+	if err != nil {
+		return 0, err
+	}
+	return a.PageCost, nil
+}
+
+// StatementCost estimates the page cost of any supported statement under
+// the given physical design — the EXEC(S,C) term. DML statements pay
+// their row search (costed like a SELECT) plus per-row heap and index
+// maintenance; DDL statements are not workload statements and are
+// rejected.
+func StatementCost(stmt sql.Statement, t TablePhys, indexes []IndexPhys) (float64, error) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		return SelectCost(s, t, indexes)
+	case *sql.Insert:
+		perRow := 1.0 // heap write
+		for i := range indexes {
+			perRow += indexes[i].Height + 1 // descend + leaf write
+		}
+		return float64(len(s.Rows)) * perRow, nil
+	case *sql.Update:
+		probe := &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
+		base, err := SelectCost(probe, t, indexes)
+		if err != nil {
+			return 0, err
+		}
+		rows := estimateResultRows(s.Where, t)
+		perRow := 1.0 // heap write
+		for i := range indexes {
+			perRow += 2 * (indexes[i].Height + 1) // delete + insert entries
+		}
+		return base + rows*perRow, nil
+	case *sql.Delete:
+		probe := &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
+		base, err := SelectCost(probe, t, indexes)
+		if err != nil {
+			return 0, err
+		}
+		rows := estimateResultRows(s.Where, t)
+		perRow := 1.0
+		for i := range indexes {
+			perRow += indexes[i].Height + 1
+		}
+		return base + rows*perRow, nil
+	default:
+		return 0, fmt.Errorf("cost: statement %T is not a workload statement", stmt)
+	}
+}
+
+func estimateResultRows(w *sql.Where, t TablePhys) float64 {
+	rows := t.Rows
+	if w != nil {
+		for _, c := range w.Conjuncts {
+			rows *= conjunctSelectivity(t, c)
+		}
+	}
+	return rows
+}
+
+// SortIOFactor models the external-sort I/O of an online index build as
+// a multiple of the index's leaf pages: a two-pass external merge sort
+// reads and writes the run files twice (2 passes × read+write). The
+// engine's build charges the same factor, so predicted and measured
+// TRANS agree.
+const SortIOFactor = 4
+
+// BuildCost estimates the pages charged to build an index online: one
+// full heap scan, the external sort of the entries, and writing every
+// node of the new tree. This is the per-index TRANS term for index
+// creation.
+func BuildCost(ip IndexPhys, t TablePhys) float64 {
+	return t.HeapPages + SortIOFactor*ip.LeafPages + ip.TotalPages
+}
+
+// DropCost is the pages charged to drop an index (a catalog write).
+func DropCost() float64 { return 1 }
+
+// HeapPagesForRows predicts heap pages for a table of n rows with the
+// given average encoded row size, matching storage.HeapFile's layout.
+func HeapPagesForRows(n int64, rowBytes float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	perPage := math.Floor(float64(storage.PageSize-6) / (rowBytes + 4))
+	if perPage < 1 {
+		perPage = 1
+	}
+	return math.Ceil(float64(n) / perPage)
+}

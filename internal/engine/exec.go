@@ -1,0 +1,585 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"dyndesign/internal/cost"
+	"dyndesign/internal/keyenc"
+	"dyndesign/internal/sql"
+	"dyndesign/internal/storage"
+	"dyndesign/internal/types"
+)
+
+// compiledPred is a predicate with the column resolved to its ordinal.
+type compiledPred struct {
+	ord  int
+	op   sql.CompareOp
+	val  types.Value
+	vals []types.Value // sorted IN list (op == sql.OpIn)
+}
+
+func compilePreds(schema *types.Schema, preds []sql.Comparison) ([]compiledPred, error) {
+	out := make([]compiledPred, len(preds))
+	for i, c := range preds {
+		ord := schema.ColumnIndex(c.Column)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", c.Column)
+		}
+		out[i] = compiledPred{ord: ord, op: c.Op, val: c.Value, vals: c.Values}
+	}
+	return out, nil
+}
+
+func (p compiledPred) eval(row types.Row) bool {
+	return p.evalValue(row[p.ord])
+}
+
+func (p compiledPred) evalValue(v types.Value) bool {
+	if p.op == sql.OpIn {
+		// The parser sorts IN lists, so membership is a binary search.
+		lo, hi := 0, len(p.vals)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if p.vals[mid].Compare(v) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(p.vals) && p.vals[lo].Equal(v)
+	}
+	cmp := v.Compare(p.val)
+	switch p.op {
+	case sql.OpEq:
+		return cmp == 0
+	case sql.OpLt:
+		return cmp < 0
+	case sql.OpLe:
+		return cmp <= 0
+	case sql.OpGt:
+		return cmp > 0
+	case sql.OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+func evalAll(preds []compiledPred, row types.Row) bool {
+	for _, p := range preds {
+		if !p.eval(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// seekBounds builds the encoded key range [low, high) for an index seek
+// from the equality prefix and optional range spec.
+func seekBounds(a *cost.Access) (low, high []byte, err error) {
+	prefix, err := keyenc.Encode(a.EqVals...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if a.Range == nil {
+		if len(prefix) == 0 {
+			return nil, nil, nil
+		}
+		return prefix, keyenc.PrefixSuccessor(prefix), nil
+	}
+	r := a.Range
+	low = prefix
+	if r.Low != nil {
+		lowKey, err := keyenc.AppendValue(append([]byte(nil), prefix...), *r.Low)
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.LowInclusive {
+			low = lowKey
+		} else {
+			low = keyenc.PrefixSuccessor(lowKey)
+		}
+	}
+	if r.High != nil {
+		highKey, err := keyenc.AppendValue(append([]byte(nil), prefix...), *r.High)
+		if err != nil {
+			return nil, nil, err
+		}
+		if r.HighInclusive {
+			high = keyenc.PrefixSuccessor(highKey)
+		} else {
+			high = highKey
+		}
+	} else if len(prefix) > 0 {
+		high = keyenc.PrefixSuccessor(prefix)
+	}
+	if len(low) == 0 {
+		low = nil
+	}
+	return low, high, nil
+}
+
+// matchedRow is a row located by an access path, with its RID when the
+// heap was (or can be) involved.
+type matchedRow struct {
+	rid storage.RID
+	row types.Row
+}
+
+// collectRows runs the access path and returns the matching rows after
+// residual filtering. For covering paths the returned rows are sparse:
+// only the index key columns are populated; a caller needing all columns
+// must use needHeap=true to force heap fetches.
+func (db *Database) collectRows(td *tableData, plan *Plan, needHeap bool) ([]matchedRow, error) {
+	schema := td.meta.Schema
+	residual, err := compilePreds(schema, plan.Residual)
+	if err != nil {
+		return nil, err
+	}
+	var out []matchedRow
+	var innerErr error
+
+	a := &plan.Access
+	switch a.Kind {
+	case cost.HeapScan:
+		// The decode scratch is reused per row; matching rows are cloned
+		// before they are retained.
+		var scratch types.Row
+		td.heap.Scan(func(rid storage.RID, payload []byte) bool {
+			row, err := types.DecodeRowInto(scratch, payload)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			scratch = row
+			if evalAll(residual, row) {
+				out = append(out, matchedRow{rid: rid, row: row.Clone()})
+			}
+			return true
+		})
+
+	case cost.IndexSeek, cost.IndexOnlyScan:
+		ix, ok := td.indexes.Get(a.Index.Def.Name())
+		if !ok {
+			return nil, fmt.Errorf("engine: planned index %s vanished", a.Index.Def.Name())
+		}
+		// An access path is one key range, except an IN seek, which runs
+		// one sub-range per listed value.
+		type keyRange struct{ low, high []byte }
+		var ranges []keyRange
+		switch {
+		case a.Kind == cost.IndexSeek && a.In != nil:
+			for _, v := range a.In {
+				prefix, err := keyenc.Encode(append(append([]types.Value(nil), a.EqVals...), v)...)
+				if err != nil {
+					return nil, err
+				}
+				ranges = append(ranges, keyRange{prefix, keyenc.PrefixSuccessor(prefix)})
+			}
+		case a.Kind == cost.IndexSeek:
+			low, high, err := seekBounds(a)
+			if err != nil {
+				return nil, err
+			}
+			ranges = append(ranges, keyRange{low, high})
+		default:
+			ranges = append(ranges, keyRange{nil, nil})
+		}
+		keyCols := ix.KeyColumns()
+		fetch := needHeap || !a.Covering
+		if fetch {
+			for _, kr := range ranges {
+				err = ix.ScanEncodedRange(kr.low, kr.high, func(keyVals []types.Value, rid storage.RID) bool {
+					payload, err := td.heap.Get(rid)
+					if err != nil {
+						innerErr = err
+						return false
+					}
+					row, err := types.DecodeRow(payload)
+					if err != nil {
+						innerErr = err
+						return false
+					}
+					if evalAll(residual, row) {
+						out = append(out, matchedRow{rid: rid, row: row})
+					}
+					return true
+				})
+				if err != nil || innerErr != nil {
+					break
+				}
+			}
+		} else {
+			// Covering path: evaluate residual predicates against the
+			// decoded key values directly and materialize a (sparse) row
+			// only for matches — index-only scans visit every entry, so
+			// this loop must not allocate per entry.
+			keyPos := make(map[int]int, len(keyCols))
+			for i, ord := range keyCols {
+				keyPos[ord] = i
+			}
+			residualPos := make([]int, len(residual))
+			for i, p := range residual {
+				pos, ok := keyPos[p.ord]
+				if !ok {
+					return nil, fmt.Errorf("engine: covering plan has residual on uncovered column")
+				}
+				residualPos[i] = pos
+			}
+			for _, kr := range ranges {
+				err = ix.ScanEncodedRange(kr.low, kr.high, func(keyVals []types.Value, rid storage.RID) bool {
+					for i, p := range residual {
+						if !p.evalValue(keyVals[residualPos[i]]) {
+							return true
+						}
+					}
+					row := make(types.Row, schema.Len())
+					for i, ord := range keyCols {
+						row[ord] = keyVals[i]
+					}
+					out = append(out, matchedRow{rid: rid, row: row})
+					return true
+				})
+				if err != nil || innerErr != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, fmt.Errorf("engine: unknown access kind %v", a.Kind)
+	}
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return out, nil
+}
+
+func (db *Database) execSelect(s *sql.Select) (*Result, error) {
+	td, err := db.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := db.planSelectLocked(td, s)
+	if err != nil {
+		return nil, err
+	}
+	matched, err := db.collectRows(td, plan, false)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan}
+
+	if s.CountStar {
+		res.Count = int64(len(matched))
+		res.Columns = []string{"COUNT(*)"}
+		return res, nil
+	}
+	if s.HasAggregates() {
+		return db.execAggregates(td, s, matched, plan)
+	}
+
+	schema := td.meta.Schema
+	// Resolve the projection.
+	var projOrds []int
+	if len(s.Columns) == 0 {
+		projOrds = make([]int, schema.Len())
+		for i := range projOrds {
+			projOrds[i] = i
+		}
+		res.Columns = schema.ColumnNames()
+	} else {
+		for _, name := range s.Columns {
+			ord := schema.ColumnIndex(name)
+			if ord < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q", name)
+			}
+			projOrds = append(projOrds, ord)
+			res.Columns = append(res.Columns, schema.Columns[ord].Name)
+		}
+	}
+
+	// Order before projecting so ORDER BY columns need not be projected.
+	if s.Order != nil {
+		ord := schema.ColumnIndex(s.Order.Column)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", s.Order.Column)
+		}
+		desc := s.Order.Desc
+		sort.SliceStable(matched, func(i, j int) bool {
+			c := matched[i].row[ord].Compare(matched[j].row[ord])
+			if desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	// With DISTINCT the limit applies to deduplicated rows, so it is
+	// deferred until after projection and dedup.
+	if !s.Distinct && s.Limit >= 0 && int64(len(matched)) > s.Limit {
+		matched = matched[:s.Limit]
+	}
+
+	res.Rows = make([]types.Row, len(matched))
+	for i, m := range matched {
+		row := make(types.Row, len(projOrds))
+		for j, ord := range projOrds {
+			row[j] = m.row[ord]
+		}
+		res.Rows[i] = row
+	}
+	if s.Distinct {
+		// Deduplicate projected rows, keeping first occurrences (which
+		// preserves any ORDER BY ordering).
+		seen := make(map[string]struct{}, len(res.Rows))
+		kept := res.Rows[:0]
+		for _, row := range res.Rows {
+			key, err := keyenc.Encode(row...)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+			kept = append(kept, row)
+		}
+		res.Rows = kept
+		if s.Limit >= 0 && int64(len(res.Rows)) > s.Limit {
+			res.Rows = res.Rows[:s.Limit]
+		}
+	}
+	res.Count = int64(len(res.Rows))
+	return res, nil
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count    int64
+	sum      int64
+	min, max types.Value
+	seen     bool
+}
+
+func (a *aggState) add(v types.Value) {
+	a.count++
+	if v.Kind == types.KindInt {
+		a.sum += v.Int
+	}
+	if !a.seen {
+		a.min, a.max, a.seen = v, v, true
+		return
+	}
+	if v.Compare(a.min) < 0 {
+		a.min = v
+	}
+	if v.Compare(a.max) > 0 {
+		a.max = v
+	}
+}
+
+// result renders the accumulator for one aggregate function. Aggregates
+// over an empty group yield COUNT 0 and integer 0 otherwise (the dialect
+// has no NULL); grouped queries never produce empty groups.
+func (a *aggState) result(fn sql.AggFunc) types.Value {
+	switch fn {
+	case sql.AggCount:
+		return types.NewInt(a.count)
+	case sql.AggMin:
+		if !a.seen {
+			return types.NewInt(0)
+		}
+		return a.min
+	case sql.AggMax:
+		if !a.seen {
+			return types.NewInt(0)
+		}
+		return a.max
+	case sql.AggSum:
+		return types.NewInt(a.sum)
+	default: // AggAvg: integer average, truncating
+		if a.count == 0 {
+			return types.NewInt(0)
+		}
+		return types.NewInt(a.sum / a.count)
+	}
+}
+
+// execAggregates evaluates an aggregate select list (with optional
+// GROUP BY) over the matched rows.
+func (db *Database) execAggregates(td *tableData, s *sql.Select, matched []matchedRow, plan *Plan) (*Result, error) {
+	schema := td.meta.Schema
+	groupOrd := -1
+	if s.GroupBy != "" {
+		groupOrd = schema.ColumnIndex(s.GroupBy)
+		if groupOrd < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", s.GroupBy)
+		}
+	}
+	// Resolve aggregate input ordinals in Items order (-1 = COUNT(*)).
+	type aggItem struct {
+		fn  sql.AggFunc
+		ord int
+	}
+	var aggs []aggItem
+	for _, it := range s.Items {
+		if !it.IsAgg {
+			continue
+		}
+		ord := -1
+		if it.Agg.Column != "" {
+			ord = schema.ColumnIndex(it.Agg.Column)
+			if ord < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q", it.Agg.Column)
+			}
+		}
+		aggs = append(aggs, aggItem{fn: it.Agg.Func, ord: ord})
+	}
+
+	type group struct {
+		key    types.Value
+		states []aggState
+	}
+	groups := make(map[types.Value]*group)
+	var order []*group
+	singleKey := types.NewInt(0) // the one group of an ungrouped query
+	for _, m := range matched {
+		key := singleKey
+		if groupOrd >= 0 {
+			key = m.row[groupOrd]
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{key: key, states: make([]aggState, len(aggs))}
+			groups[key] = g
+			order = append(order, g)
+		}
+		for i, a := range aggs {
+			if a.ord < 0 {
+				g.states[i].count++
+				continue
+			}
+			g.states[i].add(m.row[a.ord])
+		}
+	}
+	if groupOrd < 0 && len(order) == 0 {
+		// Aggregates over an empty, ungrouped input yield one row.
+		order = append(order, &group{key: singleKey, states: make([]aggState, len(aggs))})
+	}
+
+	// Deterministic group order: by key, honouring ORDER BY direction
+	// (validated to be the group column).
+	desc := s.Order != nil && s.Order.Desc
+	sort.SliceStable(order, func(i, j int) bool {
+		c := order[i].key.Compare(order[j].key)
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	if s.Limit >= 0 && int64(len(order)) > s.Limit {
+		order = order[:s.Limit]
+	}
+
+	res := &Result{Plan: plan}
+	for _, it := range s.Items {
+		res.Columns = append(res.Columns, it.String())
+	}
+	for _, g := range order {
+		row := make(types.Row, 0, len(s.Items))
+		ai := 0
+		for _, it := range s.Items {
+			if it.IsAgg {
+				row = append(row, g.states[ai].result(it.Agg.Func))
+				ai++
+			} else {
+				row = append(row, g.key)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Count = int64(len(res.Rows))
+	return res, nil
+}
+
+func (db *Database) execUpdate(s *sql.Update) (*Result, error) {
+	td, err := db.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := td.meta.Schema
+	// Validate assignments.
+	type setOp struct {
+		ord int
+		val types.Value
+	}
+	sets := make([]setOp, len(s.Set))
+	for i, a := range s.Set {
+		ord := schema.ColumnIndex(a.Column)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", a.Column)
+		}
+		if schema.Columns[ord].Kind != a.Value.Kind {
+			return nil, fmt.Errorf("engine: SET %s expects %s, got %s",
+				a.Column, schema.Columns[ord].Kind, a.Value.Kind)
+		}
+		sets[i] = setOp{ord: ord, val: a.Value}
+	}
+	probe := &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
+	plan, err := db.planSelectLocked(td, probe)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize matches with full rows before mutating anything.
+	matched, err := db.collectRows(td, plan, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range matched {
+		newRow := m.row.Clone()
+		for _, op := range sets {
+			newRow[op.ord] = op.val
+		}
+		payload, err := types.EncodeRow(nil, newRow)
+		if err != nil {
+			return nil, err
+		}
+		newRID, err := td.heap.Update(m.rid, payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := td.indexes.OnUpdate(m.row, m.rid, newRow, newRID); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Count: int64(len(matched)), Plan: plan}, nil
+}
+
+func (db *Database) execDelete(s *sql.Delete) (*Result, error) {
+	td, err := db.table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	probe := &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
+	plan, err := db.planSelectLocked(td, probe)
+	if err != nil {
+		return nil, err
+	}
+	matched, err := db.collectRows(td, plan, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range matched {
+		if err := td.heap.Delete(m.rid); err != nil {
+			return nil, err
+		}
+		if err := td.indexes.OnDelete(m.row, m.rid); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Count: int64(len(matched)), Plan: plan}, nil
+}

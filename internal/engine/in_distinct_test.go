@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"dyndesign/internal/cost"
+)
+
+func TestInPredicateHeapScan(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, s STRING)")
+	for i := 0; i < 100; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 's%d')", i%10, i))
+	}
+	res := db.MustExec("SELECT a FROM t WHERE a IN (2, 5, 7)")
+	if len(res.Rows) != 30 {
+		t.Fatalf("IN returned %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		v := r[0].Int
+		if v != 2 && v != 5 && v != 7 {
+			t.Errorf("row %v outside the IN list", r)
+		}
+	}
+	// String IN.
+	res = db.MustExec("SELECT s FROM t WHERE s IN ('s3', 's44', 'missing')")
+	if len(res.Rows) != 2 {
+		t.Errorf("string IN returned %d rows", len(res.Rows))
+	}
+	// Duplicates in the list are harmless.
+	res = db.MustExec("SELECT a FROM t WHERE a IN (2, 2, 2)")
+	if len(res.Rows) != 10 {
+		t.Errorf("duplicate IN returned %d rows", len(res.Rows))
+	}
+}
+
+func TestInPredicateUsesIndexSeek(t *testing.T) {
+	db := newTestDB(t, 20000, 1000)
+	db.MustExec("CREATE INDEX ON t (a)")
+	plan, err := db.Explain("SELECT a FROM t WHERE a IN (3, 500, 997)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Access.Kind != cost.IndexSeek || len(plan.Access.In) != 3 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if len(plan.Residual) != 0 {
+		t.Errorf("residual = %v", plan.Residual)
+	}
+	res := db.MustExec("SELECT a FROM t WHERE a IN (3, 500, 997)")
+	want := db.MustExec("SELECT COUNT(*) FROM t WHERE a IN (3, 500, 997)")
+	if int64(len(res.Rows)) != want.Count {
+		t.Errorf("IN seek returned %d rows, count says %d", len(res.Rows), want.Count)
+	}
+	// The seek must be far cheaper than a scan.
+	db.AccessStats().Reset()
+	db.MustExec("SELECT a FROM t WHERE a IN (3, 500, 997)")
+	seekPages := db.AccessStats().Total()
+	db.AccessStats().Reset()
+	db.MustExec("SELECT b FROM t WHERE b IN (3, 500, 997)") // no index on b
+	scanPages := db.AccessStats().Total()
+	if seekPages*5 > scanPages {
+		t.Errorf("IN seek cost %d not well below scan cost %d", seekPages, scanPages)
+	}
+}
+
+func TestInAfterEqPrefix(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)")
+	for a := 0; a < 100; a++ {
+		for b := 0; b < 200; b++ {
+			db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", a, b))
+		}
+	}
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE INDEX ON t (a, b)")
+	plan, _ := db.Explain("SELECT a, b FROM t WHERE a = 3 AND b IN (10, 20, 30)")
+	if plan.Access.Kind != cost.IndexSeek || len(plan.Access.EqVals) != 1 || len(plan.Access.In) != 3 {
+		t.Fatalf("plan = %v", plan)
+	}
+	res := db.MustExec("SELECT a, b FROM t WHERE a = 3 AND b IN (10, 20, 30)")
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestInErrors(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	if _, err := db.Exec("SELECT a FROM t WHERE a IN ()"); err == nil {
+		t.Error("empty IN accepted")
+	}
+	if _, err := db.Exec("SELECT a FROM t WHERE a IN (1, 'x')"); err == nil {
+		t.Error("mixed-kind IN accepted")
+	}
+	if _, err := db.Exec("SELECT a FROM t WHERE a IN ('x')"); err == nil {
+		t.Error("kind-mismatched IN accepted")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)")
+	for i := 0; i < 40; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i%4, i%2))
+	}
+	res := db.MustExec("SELECT DISTINCT a FROM t ORDER BY a")
+	if len(res.Rows) != 4 {
+		t.Fatalf("distinct a = %v", res.Rows)
+	}
+	for i, r := range res.Rows {
+		if r[0].Int != int64(i) {
+			t.Errorf("row %d = %v", i, r)
+		}
+	}
+	// Multi-column distinct.
+	res = db.MustExec("SELECT DISTINCT a, b FROM t")
+	if len(res.Rows) != 4 { // (0,0),(1,1),(2,0),(3,1)
+		t.Errorf("distinct (a,b) = %v", res.Rows)
+	}
+	// Distinct with limit counts distinct rows.
+	res = db.MustExec("SELECT DISTINCT a FROM t ORDER BY a LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[1][0].Int != 1 {
+		t.Errorf("distinct limit = %v", res.Rows)
+	}
+	// Distinct star.
+	res = db.MustExec("SELECT DISTINCT * FROM t")
+	if len(res.Rows) != 4 {
+		t.Errorf("distinct * = %v", res.Rows)
+	}
+}
+
+func TestInResidualOnNonIndexColumn(t *testing.T) {
+	db := newTestDB(t, 20000, 1000)
+	db.MustExec("CREATE INDEX ON t (a)")
+	// IN on b is residual; the seek is on a.
+	plan, _ := db.Explain("SELECT a, b FROM t WHERE a = 5 AND b IN (1, 2, 3)")
+	if plan.Access.Kind != cost.IndexSeek || len(plan.Residual) != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+	res := db.MustExec("SELECT a, b FROM t WHERE a = 5 AND b IN (1, 2, 3)")
+	for _, r := range res.Rows {
+		if r[0].Int != 5 || r[1].Int > 3 || r[1].Int < 1 {
+			t.Errorf("row %v violates predicates", r)
+		}
+	}
+	// Result equals the heap-scan answer.
+	want := db.MustExec("SELECT COUNT(*) FROM t WHERE a = 5 AND b IN (1, 2, 3)")
+	if int64(len(res.Rows)) != want.Count {
+		t.Errorf("got %d rows, count says %d", len(res.Rows), want.Count)
+	}
+}

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ExecScript executes a SQL script: statements separated by lines ending
+// in ';' (a statement may span lines; the final statement may omit the
+// semicolon). "--" comments are stripped. It stops at the first error,
+// reporting the line where the failing statement ended.
+func (db *Database) ExecScript(r io.Reader) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var stmt strings.Builder
+	line := 0
+	exec := func() error {
+		text := strings.TrimSpace(stmt.String())
+		stmt.Reset()
+		text = strings.TrimSuffix(text, ";")
+		if text == "" {
+			return nil
+		}
+		if _, err := db.Exec(text); err != nil {
+			return fmt.Errorf("engine: script line %d: %w", line, err)
+		}
+		return nil
+	}
+	for scanner.Scan() {
+		line++
+		text := scanner.Text()
+		if idx := strings.Index(text, "--"); idx >= 0 {
+			text = text[:idx]
+		}
+		stmt.WriteString(text)
+		stmt.WriteByte('\n')
+		if strings.HasSuffix(strings.TrimSpace(text), ";") {
+			if err := exec(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	return exec()
+}

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dyndesign/internal/catalog"
+	"dyndesign/internal/sql"
+	"dyndesign/internal/storage"
+	"dyndesign/internal/types"
+)
+
+// Database snapshots: a versioned binary format holding every table's
+// schema, rows, index definitions, and whether statistics were built.
+// Loading rebuilds the physical structures (heap placement and index
+// trees are derived state), so a snapshot is compact and
+// version-tolerant at the storage layer.
+//
+// Layout (all integers big-endian):
+//
+//	magic   "DYNDB001"
+//	uint32  table count
+//	per table:
+//	  string  name
+//	  uint16  column count; per column: string name, uint8 kind
+//	  uint32  index count;  per index: uint16 col count, per col string
+//	  uint8   analyzed flag
+//	  uint64  row count;    per row: uint32 payload length, payload
+//
+// Strings are uint16 length + bytes.
+
+const snapshotMagic = "DYNDB001"
+
+type snapshotWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (s *snapshotWriter) raw(b []byte) {
+	if s.err == nil {
+		_, s.err = s.w.Write(b)
+	}
+}
+func (s *snapshotWriter) u8(v uint8)   { s.raw([]byte{v}) }
+func (s *snapshotWriter) u16(v uint16) { s.raw(binary.BigEndian.AppendUint16(nil, v)) }
+func (s *snapshotWriter) u32(v uint32) { s.raw(binary.BigEndian.AppendUint32(nil, v)) }
+func (s *snapshotWriter) u64(v uint64) { s.raw(binary.BigEndian.AppendUint64(nil, v)) }
+func (s *snapshotWriter) str(v string) {
+	if len(v) > 0xFFFF {
+		s.err = fmt.Errorf("engine: snapshot string too long")
+		return
+	}
+	s.u16(uint16(len(v)))
+	s.raw([]byte(v))
+}
+
+// Save writes a snapshot of the whole database.
+func (db *Database) Save(out io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &snapshotWriter{w: bufio.NewWriter(out)}
+	s.raw([]byte(snapshotMagic))
+
+	tables := db.cat.Tables()
+	s.u32(uint32(len(tables)))
+	for _, meta := range tables {
+		td := db.tables[lowerName(meta.Name)]
+		s.str(meta.Name)
+		s.u16(uint16(meta.Schema.Len()))
+		for _, col := range meta.Schema.Columns {
+			s.str(col.Name)
+			s.u8(uint8(col.Kind))
+		}
+		idxs := db.cat.TableIndexes(meta.Name)
+		s.u32(uint32(len(idxs)))
+		for _, def := range idxs {
+			s.u16(uint16(len(def.Columns)))
+			for _, c := range def.Columns {
+				s.str(c)
+			}
+		}
+		if td.tstats != nil {
+			s.u8(1)
+		} else {
+			s.u8(0)
+		}
+		s.u64(uint64(td.heap.NumRows()))
+		td.heap.Scan(func(_ storage.RID, payload []byte) bool {
+			s.u32(uint32(len(payload)))
+			s.raw(payload)
+			return s.err == nil
+		})
+		if s.err != nil {
+			return s.err
+		}
+	}
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+func lowerName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+type snapshotReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (s *snapshotReader) raw(n int) []byte {
+	if s.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(s.r, b); err != nil {
+		s.err = fmt.Errorf("engine: truncated snapshot: %w", err)
+		return nil
+	}
+	return b
+}
+func (s *snapshotReader) u8() uint8 {
+	b := s.raw(1)
+	if s.err != nil {
+		return 0
+	}
+	return b[0]
+}
+func (s *snapshotReader) u16() uint16 {
+	b := s.raw(2)
+	if s.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+func (s *snapshotReader) u32() uint32 {
+	b := s.raw(4)
+	if s.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+func (s *snapshotReader) u64() uint64 {
+	b := s.raw(8)
+	if s.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+func (s *snapshotReader) str() string {
+	n := s.u16()
+	b := s.raw(int(n))
+	if s.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Load reads a snapshot into a fresh database: tables and rows are
+// restored, indexes rebuilt, and statistics recomputed for tables that
+// had them.
+func Load(in io.Reader) (*Database, error) {
+	s := &snapshotReader{r: bufio.NewReader(in)}
+	if magic := s.raw(len(snapshotMagic)); s.err != nil || string(magic) != snapshotMagic {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, fmt.Errorf("engine: not a snapshot (bad magic %q)", magic)
+	}
+	db := New()
+	numTables := s.u32()
+	if numTables > 1<<20 {
+		return nil, fmt.Errorf("engine: implausible table count %d", numTables)
+	}
+	for t := uint32(0); t < numTables && s.err == nil; t++ {
+		name := s.str()
+		numCols := s.u16()
+		cols := make([]types.Column, 0, numCols)
+		for c := uint16(0); c < numCols && s.err == nil; c++ {
+			colName := s.str()
+			kind := types.Kind(s.u8())
+			cols = append(cols, types.Column{Name: colName, Kind: kind})
+		}
+		if s.err != nil {
+			break
+		}
+		schema, err := types.NewSchema(cols...)
+		if err != nil {
+			return nil, fmt.Errorf("engine: snapshot table %q: %w", name, err)
+		}
+		ct := &sql.CreateTable{Table: name}
+		for _, c := range schema.Columns {
+			ct.Columns = append(ct.Columns, sql.ColumnDef{Name: c.Name, Kind: c.Kind})
+		}
+		if _, err := db.ExecStmt(ct); err != nil {
+			return nil, err
+		}
+
+		numIdx := s.u32()
+		if numIdx > 1<<16 {
+			return nil, fmt.Errorf("engine: implausible index count %d", numIdx)
+		}
+		var defs []catalog.IndexDef
+		for i := uint32(0); i < numIdx && s.err == nil; i++ {
+			nc := s.u16()
+			def := catalog.IndexDef{Table: name}
+			for c := uint16(0); c < nc && s.err == nil; c++ {
+				def.Columns = append(def.Columns, s.str())
+			}
+			defs = append(defs, def)
+		}
+		analyzed := s.u8()
+
+		numRows := s.u64()
+		td, err := db.table(name)
+		if err != nil {
+			return nil, err
+		}
+		for r := uint64(0); r < numRows && s.err == nil; r++ {
+			n := s.u32()
+			if n > storage.MaxPayload {
+				return nil, fmt.Errorf("engine: snapshot row of %d bytes exceeds page capacity", n)
+			}
+			payload := s.raw(int(n))
+			if s.err != nil {
+				break
+			}
+			row, err := types.DecodeRow(payload)
+			if err != nil {
+				return nil, fmt.Errorf("engine: snapshot row: %w", err)
+			}
+			if err := td.meta.Schema.Validate(row); err != nil {
+				return nil, fmt.Errorf("engine: snapshot row: %w", err)
+			}
+			if _, err := td.heap.Insert(payload); err != nil {
+				return nil, err
+			}
+		}
+		if s.err != nil {
+			break
+		}
+		// Rebuild indexes over the restored heap.
+		for _, def := range defs {
+			if err := db.cat.AddIndex(def); err != nil {
+				return nil, err
+			}
+			if _, err := td.indexes.Create(def); err != nil {
+				return nil, err
+			}
+		}
+		if analyzed == 1 {
+			if err := db.Analyze(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	return db, nil
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, s STRING)")
+	db.MustExec("CREATE TABLE u (x INT)")
+	for i := 0; i < 1000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'row-%d')", i%50, i))
+	}
+	db.MustExec("INSERT INTO u VALUES (1), (2), (3)")
+	db.MustExec("CREATE INDEX ON t (a)")
+	db.MustExec("CREATE INDEX ON t (a, s)")
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same row counts.
+	if got := loaded.MustExec("SELECT COUNT(*) FROM t").Count; got != 1000 {
+		t.Errorf("t has %d rows", got)
+	}
+	if got := loaded.MustExec("SELECT COUNT(*) FROM u").Count; got != 3 {
+		t.Errorf("u has %d rows", got)
+	}
+	// Same query results.
+	want := db.MustExec("SELECT s FROM t WHERE a = 7 ORDER BY s")
+	got := loaded.MustExec("SELECT s FROM t WHERE a = 7 ORDER BY s")
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("query returned %d rows, want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if !want.Rows[i].Equal(got.Rows[i]) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	// Indexes restored and used.
+	names, err := loaded.IndexNames("t")
+	if err != nil || len(names) != 2 || names[0] != "I(a)" || names[1] != "I(a,s)" {
+		t.Errorf("IndexNames = %v, %v", names, err)
+	}
+	plan, err := loaded.Explain("SELECT a FROM t WHERE a = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Access.Index == nil {
+		t.Errorf("loaded database does not use its index: %v", plan)
+	}
+	// Statistics restored (analyzed flag).
+	if loaded.TableStats("t") == nil {
+		t.Error("statistics not rebuilt for analyzed table")
+	}
+	if loaded.TableStats("u") != nil {
+		t.Error("statistics invented for unanalyzed table")
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotEmptyDatabase(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Catalog().Tables()) != 0 {
+		t.Error("tables appeared from nowhere")
+	}
+}
+
+func TestSnapshotLoadErrors(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1)")
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOTADB00rest"),
+		"truncated 1": full[:len(full)-1],
+		"truncated 2": full[:10],
+		"truncated 3": full[:len(full)/2],
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Load succeeded", name)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT)")
+	for i := 0; i < 100; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+	}
+	var b1, b2 bytes.Buffer
+	if err := db.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("two saves of the same database differ")
+	}
+	// Save -> Load -> Save is stable too.
+	loaded, err := Load(&b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b3 bytes.Buffer
+	if err := loaded.Save(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+		t.Error("snapshot not stable across load/save")
+	}
+}
+
+func TestSnapshotAfterDeletesAndUpdates(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, s STRING)")
+	for i := 0; i < 500; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'x')", i))
+	}
+	db.MustExec("DELETE FROM t WHERE a < 100")
+	db.MustExec("UPDATE t SET s = 'updated' WHERE a >= 400")
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.MustExec("SELECT COUNT(*) FROM t").Count; got != 400 {
+		t.Errorf("rows = %d", got)
+	}
+	if got := loaded.MustExec("SELECT COUNT(*) FROM t WHERE s = 'updated'").Count; got != 100 {
+		t.Errorf("updated rows = %d", got)
+	}
+}

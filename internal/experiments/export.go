@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable exports: every experiment result can be written as
+// JSON so plots and downstream analysis need not parse the text
+// renderings. cmd/paperexp exposes this via -format json.
+
+// WriteJSON serders any experiment result with stable indentation.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// JSONReport bundles the results paperexp produced in one run; nil
+// fields were not requested.
+type JSONReport struct {
+	Scale     Scale            `json:"scale"`
+	Table1    *Table1          `json:"table1,omitempty"`
+	Table2    []Table2Row      `json:"table2,omitempty"`
+	Figure3   *Figure3Result   `json:"figure3,omitempty"`
+	Figure4   *Figure4Result   `json:"figure4,omitempty"`
+	Quality   *QualityVsK      `json:"quality_vs_k,omitempty"`
+	WriteLoad *WriteLoadResult `json:"write_load,omitempty"`
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/workload"
+)
+
+// Figure3Entry is one bar of Figure 3: a workload executed under one of
+// the two W1-based designs.
+type Figure3Entry struct {
+	Workload string
+	Design   string // "unconstrained" or "constrained"
+	Report   advisor.ReplayReport
+	// Relative is the total page cost relative to W1 under the
+	// unconstrained design (the paper's 100% baseline).
+	Relative float64
+}
+
+// Figure3Result reproduces Figure 3: relative execution cost of W1, W2,
+// and W3 under the constrained and unconstrained W1-based designs.
+type Figure3Result struct {
+	Entries       []Figure3Entry
+	BaselinePages int64
+}
+
+// Entry returns the bar for (workload, design).
+func (r *Figure3Result) Entry(workloadName, design string) *Figure3Entry {
+	for i := range r.Entries {
+		if r.Entries[i].Workload == workloadName && r.Entries[i].Design == design {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// RunFigure3 executes all six workload × design combinations on the
+// experiment database, actually building and dropping indexes at the
+// design change points and counting every logical page access. The
+// designs are the ones recommended for W1; W2 and W3 run under them
+// unchanged, which is the point of the experiment.
+func RunFigure3(t2 *Table2Result) (*Figure3Result, error) {
+	res := &Figure3Result{}
+	designs := []struct {
+		name string
+		rec  *advisor.Recommendation
+	}{
+		{"unconstrained", t2.Unconstrained},
+		{"constrained", t2.Constrained},
+	}
+	workloads := []struct {
+		name string
+		w    *workload.Workload
+	}{
+		{"W1", t2.W1}, {"W2", t2.W2}, {"W3", t2.W3},
+	}
+	for _, d := range designs {
+		perStmt := d.rec.PerStatement()
+		for _, wl := range workloads {
+			report, err := advisor.Replay(t2.DB, wl.w, d.rec, perStmt)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: replaying %s under %s design: %w", wl.name, d.name, err)
+			}
+			res.Entries = append(res.Entries, Figure3Entry{
+				Workload: wl.name,
+				Design:   d.name,
+				Report:   report,
+			})
+		}
+	}
+	base := res.Entry("W1", "unconstrained")
+	if base == nil || base.Report.TotalPages() == 0 {
+		return nil, fmt.Errorf("experiments: missing W1/unconstrained baseline")
+	}
+	res.BaselinePages = base.Report.TotalPages()
+	for i := range res.Entries {
+		res.Entries[i].Relative = float64(res.Entries[i].Report.TotalPages()) / float64(res.BaselinePages)
+	}
+	return res, nil
+}
+
+// Render prints the figure as a text bar chart in the paper's layout:
+// execution cost relative to W1 under the unconstrained design.
+func (r *Figure3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 3: Relative Execution Cost of Different Workloads\n")
+	fmt.Fprintf(w, "          Under Constrained and Unconstrained W1 Designs\n")
+	fmt.Fprintf(w, "          (logical page accesses; baseline = W1 under unconstrained = %d pages)\n\n", r.BaselinePages)
+	for _, wl := range []string{"W1", "W2", "W3"} {
+		for _, d := range []string{"unconstrained", "constrained"} {
+			e := r.Entry(wl, d)
+			if e == nil {
+				continue
+			}
+			bar := int(e.Relative*40 + 0.5)
+			fmt.Fprintf(w, "%-3s %-13s %6.1f%%  %s\n", wl, d, e.Relative*100, strings40(bar))
+		}
+	}
+}
+
+func strings40(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 80 {
+		n = 80
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

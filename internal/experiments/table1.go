@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dyndesign/internal/workload"
+)
+
+// Table1 describes the workload query mixes (the paper's Table 1).
+type Table1 struct {
+	Columns []string
+	// Rows maps mix name -> per-column weight, in Columns order.
+	Rows map[string][]float64
+}
+
+// RunTable1 materializes the mix table from the workload package.
+func RunTable1() *Table1 {
+	mixes := workload.PaperMixes(workload.PaperRows)
+	t := &Table1{Columns: []string{"a", "b", "c", "d"}, Rows: make(map[string][]float64)}
+	names := make([]string, 0, len(mixes))
+	for n := range mixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := mixes[n]
+		weights := make([]float64, len(t.Columns))
+		for _, w := range m.Weights {
+			for i, col := range t.Columns {
+				if w.Column == col {
+					weights[i] = w.Weight
+				}
+			}
+		}
+		t.Rows[n] = weights
+	}
+	return t
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: Workload Query Mixes\n")
+	fmt.Fprintf(w, "%-14s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, "%8s", c)
+	}
+	fmt.Fprintln(w)
+	names := make([]string, 0, len(t.Rows))
+	for n := range t.Rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "Query Mix %-4s", n)
+		for _, v := range t.Rows[n] {
+			fmt.Fprintf(w, "%7.0f%%", v*100)
+		}
+		fmt.Fprintln(w)
+	}
+}

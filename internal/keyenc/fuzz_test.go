@@ -1,0 +1,30 @@
+package keyenc
+
+import (
+	"bytes"
+	"testing"
+
+	"dyndesign/internal/types"
+)
+
+// FuzzDecode asserts the key codec never panics on arbitrary bytes and
+// round-trips what it accepts.
+func FuzzDecode(f *testing.F) {
+	f.Add(MustEncode(types.NewInt(42), types.NewString("x\x00y")))
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x02, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(vals...)
+		if err != nil {
+			t.Fatalf("decoded key %v does not re-encode: %v", vals, err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("codec not canonical: % x -> %v -> % x", data, vals, enc)
+		}
+	})
+}

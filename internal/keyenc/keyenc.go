@@ -1,0 +1,152 @@
+// Package keyenc provides an order-preserving binary encoding for
+// composite index keys: for any two key tuples a and b,
+// bytes.Compare(Encode(a), Encode(b)) equals the tuple comparison of a
+// and b. The B+-tree stores and compares only these encoded byte keys,
+// which keeps the tree oblivious to the type system.
+//
+// Encoding per value:
+//
+//	int64:  tag 0x01, then the value biased by flipping the sign bit and
+//	        written big-endian — this makes unsigned byte order match
+//	        signed integer order.
+//	string: tag 0x02, then the bytes with 0x00 escaped as 0x00 0xFF,
+//	        terminated by 0x00 0x00 — the terminator sorts below any
+//	        continuation, so prefixes sort first, matching string order.
+//
+// Tags also give cross-kind determinism (ints sort before strings), though
+// the engine never mixes kinds within one key position.
+package keyenc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dyndesign/internal/types"
+)
+
+const (
+	tagInt    = 0x01
+	tagString = 0x02
+)
+
+// AppendValue appends the order-preserving encoding of a single value.
+func AppendValue(dst []byte, v types.Value) ([]byte, error) {
+	switch v.Kind {
+	case types.KindInt:
+		dst = append(dst, tagInt)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v.Int)^(1<<63))
+		return dst, nil
+	case types.KindString:
+		dst = append(dst, tagString)
+		for i := 0; i < len(v.Str); i++ {
+			c := v.Str[i]
+			if c == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, c)
+			}
+		}
+		dst = append(dst, 0x00, 0x00)
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("keyenc: cannot encode invalid value")
+	}
+}
+
+// Encode encodes a tuple of values as one composite key.
+func Encode(vals ...types.Value) ([]byte, error) {
+	dst := make([]byte, 0, 16*len(vals))
+	var err error
+	for _, v := range vals {
+		dst, err = AppendValue(dst, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// MustEncode is Encode that panics on error, for fixtures and tests.
+func MustEncode(vals ...types.Value) []byte {
+	k, err := Encode(vals...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// PrefixSuccessor returns the smallest byte string that is greater than
+// every string having the given prefix: the prefix with its last
+// non-0xFF byte incremented and the tail truncated. It returns nil when
+// no such string exists (the prefix is empty or all 0xFF), which callers
+// treat as an unbounded upper limit. It is the primitive behind
+// exclusive range bounds and prefix scans on encoded keys.
+func PrefixSuccessor(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xFF {
+			out := make([]byte, i+1)
+			copy(out, prefix[:i+1])
+			out[i]++
+			return out
+		}
+	}
+	return nil
+}
+
+// Decode parses a composite key back into its values. It is the inverse
+// of Encode and is used by index-only scans to reconstruct column values
+// without visiting the heap.
+func Decode(key []byte) ([]types.Value, error) {
+	return DecodeInto(nil, key)
+}
+
+// DecodeInto is Decode reusing the caller's slice (appending from
+// buf[:0]) so per-entry scans allocate nothing. The returned slice
+// aliases buf's storage; callers that retain values across calls must
+// copy them.
+func DecodeInto(buf []types.Value, key []byte) ([]types.Value, error) {
+	vals := buf[:0]
+	for len(key) > 0 {
+		switch key[0] {
+		case tagInt:
+			if len(key) < 9 {
+				return nil, fmt.Errorf("keyenc: truncated int key")
+			}
+			u := binary.BigEndian.Uint64(key[1:9])
+			vals = append(vals, types.NewInt(int64(u^(1<<63))))
+			key = key[9:]
+		case tagString:
+			key = key[1:]
+			var buf []byte
+			done := false
+			for !done {
+				if len(key) < 1 {
+					return nil, fmt.Errorf("keyenc: unterminated string key")
+				}
+				c := key[0]
+				if c != 0x00 {
+					buf = append(buf, c)
+					key = key[1:]
+					continue
+				}
+				if len(key) < 2 {
+					return nil, fmt.Errorf("keyenc: truncated string escape")
+				}
+				switch key[1] {
+				case 0xFF: // escaped literal 0x00
+					buf = append(buf, 0x00)
+					key = key[2:]
+				case 0x00: // terminator
+					key = key[2:]
+					done = true
+				default:
+					return nil, fmt.Errorf("keyenc: invalid string escape 0x00 0x%02X", key[1])
+				}
+			}
+			vals = append(vals, types.NewString(string(buf)))
+		default:
+			return nil, fmt.Errorf("keyenc: unknown tag 0x%02X", key[0])
+		}
+	}
+	return vals, nil
+}

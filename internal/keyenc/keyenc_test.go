@@ -1,0 +1,237 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dyndesign/internal/types"
+)
+
+func TestEncodeIntOrderPreserving(t *testing.T) {
+	vals := []int64{math.MinInt64, -1000, -1, 0, 1, 42, 500000, math.MaxInt64}
+	for i := 1; i < len(vals); i++ {
+		a := MustEncode(types.NewInt(vals[i-1]))
+		b := MustEncode(types.NewInt(vals[i]))
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("Encode(%d) >= Encode(%d) in byte order", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestEncodeStringOrderPreserving(t *testing.T) {
+	vals := []string{"", "a", "aa", "ab", "b", "ba", "z", "za"}
+	for i := 1; i < len(vals); i++ {
+		a := MustEncode(types.NewString(vals[i-1]))
+		b := MustEncode(types.NewString(vals[i]))
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("Encode(%q) >= Encode(%q) in byte order", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestEncodeStringWithNulBytes(t *testing.T) {
+	// A string containing 0x00 must round-trip and order correctly against
+	// its prefix: "a" < "a\x00" < "a\x00a" < "aa".
+	vals := []string{"a", "a\x00", "a\x00a", "aa"}
+	for i := 1; i < len(vals); i++ {
+		a := MustEncode(types.NewString(vals[i-1]))
+		b := MustEncode(types.NewString(vals[i]))
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("Encode(%q) >= Encode(%q) in byte order", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestCompositeKeyOrdering(t *testing.T) {
+	// (1, "b") < (2, "a"): the first column dominates.
+	a := MustEncode(types.NewInt(1), types.NewString("b"))
+	b := MustEncode(types.NewInt(2), types.NewString("a"))
+	if bytes.Compare(a, b) >= 0 {
+		t.Error("composite key ordering violated across first column")
+	}
+	// (1, "a") < (1, "b"): ties broken by the second column.
+	c := MustEncode(types.NewInt(1), types.NewString("a"))
+	d := MustEncode(types.NewInt(1), types.NewString("b"))
+	if bytes.Compare(c, d) >= 0 {
+		t.Error("composite key ordering violated within first column")
+	}
+}
+
+func TestPrefixSeekProperty(t *testing.T) {
+	// Encode(v) is a prefix of Encode(v, anything): the index-seek
+	// primitive depends on this.
+	full := MustEncode(types.NewInt(7), types.NewInt(9))
+	prefix := MustEncode(types.NewInt(7))
+	if !bytes.HasPrefix(full, prefix) {
+		t.Error("single-column encoding is not a prefix of the composite encoding")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	tuples := [][]types.Value{
+		{types.NewInt(0)},
+		{types.NewInt(math.MinInt64), types.NewInt(math.MaxInt64)},
+		{types.NewString("")},
+		{types.NewString("hello"), types.NewInt(-3)},
+		{types.NewString("with\x00nul"), types.NewString("tail")},
+	}
+	for _, tu := range tuples {
+		enc, err := Encode(tu...)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", tu, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", tu, err)
+		}
+		if len(dec) != len(tu) {
+			t.Fatalf("Decode arity %d != %d", len(dec), len(tu))
+		}
+		for i := range tu {
+			if !dec[i].Equal(tu[i]) {
+				t.Errorf("round trip %v -> %v at %d", tu, dec, i)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		{0x01, 0x00},       // truncated int
+		{0x02, 'a'},        // unterminated string
+		{0x02, 0x00},       // truncated escape
+		{0x02, 0x00, 0x42}, // invalid escape
+		{0x7F},             // unknown tag
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%x) succeeded, want error", c)
+		}
+	}
+}
+
+func TestEncodeInvalidValue(t *testing.T) {
+	if _, err := Encode(types.Value{}); err == nil {
+		t.Error("Encode of invalid value succeeded")
+	}
+}
+
+func TestMustEncodePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on invalid value")
+		}
+	}()
+	MustEncode(types.Value{})
+}
+
+func TestIntOrderPreservationProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea := MustEncode(types.NewInt(a))
+		eb := MustEncode(types.NewInt(b))
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOrderPreservationProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		ea := MustEncode(types.NewString(a))
+		eb := MustEncode(types.NewString(b))
+		cmp := bytes.Compare(ea, eb)
+		want := bytes.Compare([]byte(a), []byte(b))
+		return sign(cmp) == sign(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeRoundTripProperty(t *testing.T) {
+	f := func(a int64, s string, b int64) bool {
+		tu := []types.Value{types.NewInt(a), types.NewString(s), types.NewInt(b)}
+		dec, err := Decode(MustEncode(tu...))
+		if err != nil || len(dec) != 3 {
+			return false
+		}
+		return dec[0].Equal(tu[0]) && dec[1].Equal(tu[1]) && dec[2].Equal(tu[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{}, nil},
+		{nil, nil},
+		{[]byte{0x00}, []byte{0x01}},
+		{[]byte{0xAB, 0x00, 0xFF, 0xFF}, []byte{0xAB, 0x01}},
+	}
+	for _, c := range cases {
+		got := PrefixSuccessor(c.in)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixSuccessor(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixSuccessorProperty(t *testing.T) {
+	// For any prefix p and continuation c: p||c < PrefixSuccessor(p),
+	// and p itself < PrefixSuccessor(p).
+	f := func(p, c []byte) bool {
+		succ := PrefixSuccessor(p)
+		if succ == nil {
+			// Only when p is empty or all 0xFF.
+			for _, b := range p {
+				if b != 0xFF {
+					return false
+				}
+			}
+			return true
+		}
+		full := append(append([]byte(nil), p...), c...)
+		return bytes.Compare(full, succ) < 0 && bytes.Compare(p, succ) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixSuccessorDoesNotAliasInput(t *testing.T) {
+	in := []byte{0x01, 0x02}
+	out := PrefixSuccessor(in)
+	out[0] = 0xEE
+	if in[0] != 0x01 {
+		t.Error("PrefixSuccessor aliases its input")
+	}
+}

@@ -1,0 +1,445 @@
+// Package sql implements the engine's SQL front end: a lexer, a
+// recursive-descent parser, and the AST the planner consumes. The dialect
+// is the subset the paper's workloads and the design advisor need:
+// single-table SELECT with conjunctive comparison predicates, INSERT,
+// UPDATE, DELETE, and the DDL to create tables and indexes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"dyndesign/internal/types"
+)
+
+// Statement is the interface implemented by every parsed statement.
+type Statement interface {
+	// String renders the statement back to SQL.
+	String() string
+	stmtNode()
+}
+
+// CompareOp is a comparison operator in a predicate.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota // =
+	OpLt                  // <
+	OpLe                  // <=
+	OpGt                  // >
+	OpGe                  // >=
+	OpIn                  // IN (v1, v2, ...)
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIn:
+		return "IN"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// Comparison is one "column op literal" predicate term.
+type Comparison struct {
+	Column string
+	Op     CompareOp
+	Value  types.Value
+	// Values holds the literal list of an IN comparison (Op == OpIn);
+	// Value is unused then. The list is sorted and deduplicated by the
+	// parser.
+	Values []types.Value
+}
+
+// String renders the comparison as SQL.
+func (c Comparison) String() string {
+	if c.Op == OpIn {
+		parts := make([]string, len(c.Values))
+		for i, v := range c.Values {
+			parts[i] = v.String()
+		}
+		return fmt.Sprintf("%s IN (%s)", c.Column, strings.Join(parts, ", "))
+	}
+	return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Value)
+}
+
+// Where is a conjunction of comparisons (the only boolean structure the
+// dialect supports; it is all index selection needs).
+type Where struct {
+	Conjuncts []Comparison
+}
+
+// String renders the conjunction as SQL.
+func (w *Where) String() string {
+	parts := make([]string, len(w.Conjuncts))
+	for i, c := range w.Conjuncts {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// OrderBy is an ORDER BY clause over a single column.
+type OrderBy struct {
+	Column string
+	Desc   bool
+}
+
+// AggFunc enumerates the aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota // COUNT(col) or COUNT(*)
+	AggMin
+	AggMax
+	AggSum
+	AggAvg
+)
+
+// String returns the SQL name of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AGG(%d)", int(f))
+	}
+}
+
+// AggExpr is one aggregate in a select list. An empty Column means
+// COUNT(*).
+type AggExpr struct {
+	Func   AggFunc
+	Column string
+}
+
+// String renders the aggregate as SQL.
+func (a AggExpr) String() string {
+	col := a.Column
+	if col == "" {
+		col = "*"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, col)
+}
+
+// SelectItem is one entry of a select list, either a plain column or an
+// aggregate, preserving the order written.
+type SelectItem struct {
+	IsAgg bool
+	Col   string  // when !IsAgg
+	Agg   AggExpr // when IsAgg
+}
+
+// String renders the item as SQL.
+func (it SelectItem) String() string {
+	if it.IsAgg {
+		return it.Agg.String()
+	}
+	return it.Col
+}
+
+// Select is a single-table SELECT statement.
+type Select struct {
+	// Columns lists the plain projected column names in select-list
+	// order; empty means '*' when Items is also empty.
+	Columns []string
+	// CountStar is true for the bare "SELECT COUNT(*) FROM ..." form
+	// without GROUP BY; Columns and Items are empty then.
+	CountStar bool
+	// Items is the full select list in written order when the query
+	// uses aggregates (other than the bare CountStar form); it
+	// interleaves plain columns and aggregates.
+	Items []SelectItem
+	// Distinct is true for SELECT DISTINCT; duplicate result rows are
+	// removed after projection.
+	Distinct bool
+	// GroupBy names the grouping column; empty means no GROUP BY.
+	GroupBy string
+	Table   string
+	Where   *Where   // nil when absent
+	Order   *OrderBy // nil when absent
+	// Limit is the row limit; negative means no limit.
+	Limit int64
+}
+
+// Aggregates returns the aggregate items in select-list order.
+func (s *Select) Aggregates() []AggExpr {
+	var out []AggExpr
+	for _, it := range s.Items {
+		if it.IsAgg {
+			out = append(out, it.Agg)
+		}
+	}
+	return out
+}
+
+// HasAggregates reports whether the query computes aggregates beyond the
+// bare COUNT(*) form.
+func (s *Select) HasAggregates() bool { return len(s.Items) > 0 }
+
+func (*Select) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	switch {
+	case s.CountStar:
+		b.WriteString("COUNT(*)")
+	case len(s.Items) > 0:
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.String())
+		}
+	case len(s.Columns) == 0:
+		b.WriteString("*")
+	default:
+		b.WriteString(strings.Join(s.Columns, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil && len(s.Where.Conjuncts) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if s.GroupBy != "" {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(s.GroupBy)
+	}
+	if s.Order != nil {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(s.Order.Column)
+		if s.Order.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// ReferencedColumns returns the distinct column names the statement
+// touches (projection, predicates, ordering), lower-cased. The planner
+// uses this to decide whether an index covers the statement.
+func (s *Select) ReferencedColumns() []string {
+	set := make(map[string]struct{})
+	var out []string
+	add := func(name string) {
+		l := strings.ToLower(name)
+		if _, ok := set[l]; !ok {
+			set[l] = struct{}{}
+			out = append(out, l)
+		}
+	}
+	for _, c := range s.Columns {
+		add(c)
+	}
+	for _, it := range s.Items {
+		if it.IsAgg && it.Agg.Column != "" {
+			add(it.Agg.Column)
+		}
+	}
+	if s.GroupBy != "" {
+		add(s.GroupBy)
+	}
+	if s.Where != nil {
+		for _, c := range s.Where.Conjuncts {
+			add(c.Column)
+		}
+	}
+	if s.Order != nil {
+		add(s.Order.Column)
+	}
+	return out
+}
+
+// Insert is an INSERT statement with inline VALUES.
+type Insert struct {
+	Table string
+	// Columns optionally names the target columns; empty means schema
+	// order.
+	Columns []string
+	Rows    []types.Row
+}
+
+func (*Insert) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *Insert) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, r := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// Assignment is one "column = literal" in an UPDATE SET list.
+type Assignment struct {
+	Column string
+	Value  types.Value
+}
+
+// Update is an UPDATE statement.
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where *Where // nil when absent
+}
+
+func (*Update) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *Update) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", a.Column, a.Value)
+	}
+	if s.Where != nil && len(s.Where.Conjuncts) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	Table string
+	Where *Where // nil when absent
+}
+
+func (*Delete) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *Delete) String() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	if s.Where != nil && len(s.Where.Conjuncts) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+
+// Explain wraps a SELECT whose plan should be shown instead of executed.
+type Explain struct {
+	Query *Select
+}
+
+func (*Explain) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *Explain) String() string { return "EXPLAIN " + s.Query.String() }
+
+// ColumnDef is one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *CreateTable) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(s.Table)
+	b.WriteString(" (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// CreateIndex is a CREATE INDEX statement. The index's canonical name is
+// derived from its columns (catalog.IndexDef); an explicit name in the
+// SQL is accepted and ignored in favor of the canonical one.
+type CreateIndex struct {
+	Table   string
+	Columns []string
+}
+
+func (*CreateIndex) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX ON %s (%s)", s.Table, strings.Join(s.Columns, ", "))
+}
+
+// DropTable is a DROP TABLE statement.
+type DropTable struct {
+	Table string
+}
+
+func (*DropTable) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *DropTable) String() string { return "DROP TABLE " + s.Table }
+
+// DropIndex is a DROP INDEX statement using the canonical index name.
+type DropIndex struct {
+	Table string
+	Name  string
+}
+
+func (*DropIndex) stmtNode() {}
+
+// String renders the statement as SQL.
+func (s *DropIndex) String() string {
+	return fmt.Sprintf("DROP INDEX %s ON %s", s.Name, s.Table)
+}

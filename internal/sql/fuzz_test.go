@@ -1,0 +1,42 @@
+package sql
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that everything it
+// accepts renders back to SQL that parses to the same rendering (a
+// fixed point). Run with `go test -fuzz=FuzzParse ./internal/sql` to
+// explore beyond the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT DISTINCT a, b FROM t WHERE a = 1 AND b IN (1, 2) ORDER BY a DESC LIMIT 5",
+		"SELECT COUNT(*) FROM t WHERE s = 'o''brien'",
+		"SELECT g, SUM(v) FROM t GROUP BY g",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (-2, '')",
+		"UPDATE t SET a = 1 WHERE b BETWEEN 2 AND 3",
+		"DELETE FROM t WHERE a >= -9223372036854775808",
+		"CREATE TABLE t (a INT, b STRING)",
+		"CREATE INDEX ON t (a, b)",
+		"DROP INDEX I(a,b) ON t",
+		"EXPLAIN SELECT a FROM t",
+		"SELECT a FROM t -- comment\nWHERE a = 1;",
+		"", "(", "'", "SELECT", "--", "\x00\xff", "SELECT a FROM t WHERE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		first := stmt.String()
+		again, err := Parse(first)
+		if err != nil {
+			t.Fatalf("rendered SQL %q (from %q) does not re-parse: %v", first, input, err)
+		}
+		if second := again.String(); second != first {
+			t.Fatalf("rendering not a fixed point: %q -> %q", first, second)
+		}
+	})
+}

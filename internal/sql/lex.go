@@ -1,0 +1,118 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators: ( ) , * = < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifier (original case), number text, string payload, or symbol
+	pos  int    // byte offset in the input, for error messages
+}
+
+// lexer produces tokens from a SQL string.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func newLexer(input string) *lexer { return &lexer{input: input} }
+
+// errorf builds a positioned lex/parse error.
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments: -- to end of line.
+		if c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '-' {
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.input[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9':
+		l.pos++ // first digit or sign
+		for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.input) {
+				return token{}, l.errorf(start, "unterminated string literal")
+			}
+			ch := l.input[l.pos]
+			if ch == '\'' {
+				// '' is an escaped quote.
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+	case c == '<' || c == '>':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokSymbol, text: l.input[start:l.pos], pos: start}, nil
+	case c == '(' || c == ')' || c == ',' || c == '*' || c == '=' || c == ';':
+		l.pos++
+		return token{kind: tokSymbol, text: l.input[start:l.pos], pos: start}, nil
+	default:
+		return token{}, l.errorf(start, "unexpected character %q", rune(c))
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 && unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

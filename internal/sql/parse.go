@@ -1,0 +1,722 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dyndesign/internal/types"
+)
+
+// Parse parses one SQL statement. A trailing semicolon is allowed;
+// anything after it is an error.
+func Parse(input string) (Statement, error) {
+	p := &parser{lex: newLexer(input)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokSymbol && p.tok.text == ";" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.lex.errorf(p.tok.pos, "unexpected %q after statement", p.tok.text)
+	}
+	return stmt, nil
+}
+
+// MustParse is Parse that panics on error, for fixtures and tests.
+func MustParse(input string) Statement {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// isKeyword reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.lex.errorf(p.tok.pos, "expected %s, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+// expectSymbol consumes the given symbol or fails.
+func (p *parser) expectSymbol(sym string) error {
+	if p.tok.kind != tokSymbol || p.tok.text != sym {
+		return p.lex.errorf(p.tok.pos, "expected %q, found %q", sym, p.tok.text)
+	}
+	return p.advance()
+}
+
+// acceptSymbol consumes the symbol if present, reporting whether it did.
+func (p *parser) acceptSymbol(sym string) (bool, error) {
+	if p.tok.kind == tokSymbol && p.tok.text == sym {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+// parseIdent consumes an identifier and returns its text.
+func (p *parser) parseIdent(what string) (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.lex.errorf(p.tok.pos, "expected %s, found %q", what, p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isKeyword("EXPLAIN"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("SELECT") {
+			return nil, p.lex.errorf(p.tok.pos, "EXPLAIN supports only SELECT")
+		}
+		inner, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Query: inner.(*Select)}, nil
+	case p.isKeyword("SELECT"):
+		return p.parseSelect()
+	case p.isKeyword("INSERT"):
+		return p.parseInsert()
+	case p.isKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.isKeyword("DELETE"):
+		return p.parseDelete()
+	case p.isKeyword("CREATE"):
+		return p.parseCreate()
+	case p.isKeyword("DROP"):
+		return p.parseDrop()
+	default:
+		return nil, p.lex.errorf(p.tok.pos, "expected a statement keyword, found %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	if err := p.advance(); err != nil { // SELECT
+		return nil, err
+	}
+	s := &Select{Limit: -1}
+	if p.isKeyword("DISTINCT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s.Distinct = true
+	}
+	var items []SelectItem
+	if p.tok.kind == tokSymbol && p.tok.text == "*" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+			comma, err := p.acceptSymbol(",")
+			if err != nil {
+				return nil, err
+			}
+			if !comma {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	s.Table = table
+	if s.Where, err = p.parseOptionalWhere(); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.parseIdent("group column")
+		if err != nil {
+			return nil, err
+		}
+		s.GroupBy = col
+	}
+	// Classify the select list: the bare COUNT(*) form keeps its legacy
+	// representation; any other aggregate use carries the ordered Items
+	// list; a plain column list carries Columns only.
+	hasAgg := false
+	for _, it := range items {
+		if it.IsAgg {
+			hasAgg = true
+		} else {
+			s.Columns = append(s.Columns, it.Col)
+		}
+	}
+	if hasAgg {
+		if len(items) == 1 && items[0].Agg == (AggExpr{Func: AggCount}) && s.GroupBy == "" {
+			s.CountStar = true
+		} else {
+			s.Items = items
+		}
+	} else if s.GroupBy != "" && len(items) == 0 {
+		return nil, p.lex.errorf(p.tok.pos, "GROUP BY requires an explicit select list")
+	}
+	if p.isKeyword("ORDER") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.parseIdent("order column")
+		if err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{Column: col}
+		if p.isKeyword("ASC") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.isKeyword("DESC") {
+			ob.Desc = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		s.Order = ob
+	}
+	if p.isKeyword("LIMIT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokNumber {
+			return nil, p.lex.errorf(p.tok.pos, "expected LIMIT count, found %q", p.tok.text)
+		}
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.lex.errorf(p.tok.pos, "invalid LIMIT %q", p.tok.text)
+		}
+		s.Limit = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// parseSelectItem parses one select-list entry: a plain column or an
+// aggregate call.
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.tok.kind != tokIdent {
+		return SelectItem{}, p.lex.errorf(p.tok.pos, "expected column or aggregate, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	var fn AggFunc
+	isAgg := true
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		fn = AggCount
+	case "MIN":
+		fn = AggMin
+	case "MAX":
+		fn = AggMax
+	case "SUM":
+		fn = AggSum
+	case "AVG":
+		fn = AggAvg
+	default:
+		isAgg = false
+	}
+	if err := p.advance(); err != nil {
+		return SelectItem{}, err
+	}
+	if !isAgg {
+		return SelectItem{Col: name}, nil
+	}
+	// Aggregate names are reserved only when followed by '(' —
+	// otherwise treat them as plain column names.
+	open, err := p.acceptSymbol("(")
+	if err != nil {
+		return SelectItem{}, err
+	}
+	if !open {
+		return SelectItem{Col: name}, nil
+	}
+	agg := AggExpr{Func: fn}
+	if p.tok.kind == tokSymbol && p.tok.text == "*" {
+		if fn != AggCount {
+			return SelectItem{}, p.lex.errorf(p.tok.pos, "%s(*) is not valid", fn)
+		}
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	} else {
+		col, err := p.parseIdent("aggregate column")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		agg.Column = col
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{IsAgg: true, Agg: agg}, nil
+}
+
+func (p *parser) parseOptionalWhere() (*Where, error) {
+	if !p.isKeyword("WHERE") {
+		return nil, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	w := &Where{}
+	for {
+		cmp, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		w.Conjuncts = append(w.Conjuncts, cmp...)
+		if !p.isKeyword("AND") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// parseComparison parses "col op literal" or "col BETWEEN lit AND lit"
+// (which desugars to two conjuncts).
+func (p *parser) parseComparison() ([]Comparison, error) {
+	col, err := p.parseIdent("column name")
+	if err != nil {
+		return nil, err
+	}
+	if p.isKeyword("BETWEEN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		low, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		high, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return []Comparison{
+			{Column: col, Op: OpGe, Value: low},
+			{Column: col, Op: OpLe, Value: high},
+		}, nil
+	}
+	if p.isKeyword("IN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []types.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			comma, err := p.acceptSymbol(",")
+			if err != nil {
+				return nil, err
+			}
+			if !comma {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i].Kind != vals[0].Kind {
+				return nil, p.lex.errorf(p.tok.pos, "IN list mixes value kinds")
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+		dedup := vals[:1]
+		for _, v := range vals[1:] {
+			if !v.Equal(dedup[len(dedup)-1]) {
+				dedup = append(dedup, v)
+			}
+		}
+		return []Comparison{{Column: col, Op: OpIn, Values: dedup}}, nil
+	}
+	if p.tok.kind != tokSymbol {
+		return nil, p.lex.errorf(p.tok.pos, "expected comparison operator, found %q", p.tok.text)
+	}
+	var op CompareOp
+	switch p.tok.text {
+	case "=":
+		op = OpEq
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return nil, p.lex.errorf(p.tok.pos, "unsupported operator %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return []Comparison{{Column: col, Op: op, Value: val}}, nil
+}
+
+func (p *parser) parseLiteral() (types.Value, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return types.Value{}, p.lex.errorf(p.tok.pos, "invalid number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return types.Value{}, err
+		}
+		return types.NewInt(n), nil
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return types.Value{}, err
+		}
+		return types.NewString(s), nil
+	default:
+		return types.Value{}, p.lex.errorf(p.tok.pos, "expected literal, found %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.advance(); err != nil { // INSERT
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	open, err := p.acceptSymbol("(")
+	if err != nil {
+		return nil, err
+	}
+	if open {
+		for {
+			col, err := p.parseIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			comma, err := p.acceptSymbol(",")
+			if err != nil {
+				return nil, err
+			}
+			if !comma {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row types.Row
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			comma, err := p.acceptSymbol(",")
+			if err != nil {
+				return nil, err
+			}
+			if !comma {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		comma, err := p.acceptSymbol(",")
+		if err != nil {
+			return nil, err
+		}
+		if !comma {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.advance(); err != nil { // UPDATE
+		return nil, err
+	}
+	table, err := p.parseIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: table}
+	for {
+		col, err := p.parseIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assignment{Column: col, Value: val})
+		comma, err := p.acceptSymbol(",")
+		if err != nil {
+			return nil, err
+		}
+		if !comma {
+			break
+		}
+	}
+	if u.Where, err = p.parseOptionalWhere(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.advance(); err != nil { // DELETE
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: table}
+	if d.Where, err = p.parseOptionalWhere(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.advance(); err != nil { // CREATE
+		return nil, err
+	}
+	switch {
+	case p.isKeyword("TABLE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		table, err := p.parseIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		ct := &CreateTable{Table: table}
+		for {
+			col, err := p.parseIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			typeName, err := p.parseIdent("type name")
+			if err != nil {
+				return nil, err
+			}
+			kind, err := types.ParseKind(typeName)
+			if err != nil {
+				return nil, p.lex.errorf(p.tok.pos, "%v", err)
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: col, Kind: kind})
+			comma, err := p.acceptSymbol(",")
+			if err != nil {
+				return nil, err
+			}
+			if !comma {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return ct, nil
+	case p.isKeyword("INDEX"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Optional explicit index name (ignored; names are canonical).
+		if p.tok.kind == tokIdent && !strings.EqualFold(p.tok.text, "ON") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.parseIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		ci := &CreateIndex{Table: table}
+		for {
+			col, err := p.parseIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			ci.Columns = append(ci.Columns, col)
+			comma, err := p.acceptSymbol(",")
+			if err != nil {
+				return nil, err
+			}
+			if !comma {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return ci, nil
+	default:
+		return nil, p.lex.errorf(p.tok.pos, "expected TABLE or INDEX after CREATE, found %q", p.tok.text)
+	}
+}
+
+// parseDrop parses DROP TABLE <table> or DROP INDEX <canonical-name> ON
+// <table>. The canonical index name "I(a,b)" lexes as ident "I", "(",
+// idents, ")" — reuse the column-list grammar.
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.advance(); err != nil { // DROP
+		return nil, err
+	}
+	if p.isKeyword("TABLE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		table, err := p.parseIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Table: table}, nil
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	head, err := p.parseIdent("index name")
+	if err != nil {
+		return nil, err
+	}
+	name := head
+	open, err := p.acceptSymbol("(")
+	if err != nil {
+		return nil, err
+	}
+	if open {
+		var cols []string
+		for {
+			col, err := p.parseIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, col)
+			comma, err := p.acceptSymbol(",")
+			if err != nil {
+				return nil, err
+			}
+			if !comma {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		name = fmt.Sprintf("%s(%s)", head, strings.Join(cols, ","))
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	return &DropIndex{Table: table, Name: name}, nil
+}

@@ -1,0 +1,387 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"dyndesign/internal/types"
+)
+
+func TestParseSelectStar(t *testing.T) {
+	s := MustParse("SELECT * FROM t").(*Select)
+	if s.Table != "t" || len(s.Columns) != 0 || s.CountStar || s.Where != nil || s.Limit != -1 {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+func TestParseSelectColumns(t *testing.T) {
+	s := MustParse("SELECT a, b FROM t").(*Select)
+	if len(s.Columns) != 2 || s.Columns[0] != "a" || s.Columns[1] != "b" {
+		t.Errorf("columns = %v", s.Columns)
+	}
+}
+
+func TestParseSelectCountStar(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM t WHERE a = 5").(*Select)
+	if !s.CountStar || len(s.Columns) != 0 {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+func TestParseWhereConjunction(t *testing.T) {
+	s := MustParse("SELECT a FROM t WHERE a = 1 AND b < 10 AND c >= 'x'").(*Select)
+	w := s.Where
+	if w == nil || len(w.Conjuncts) != 3 {
+		t.Fatalf("where = %+v", w)
+	}
+	want := []Comparison{
+		{Column: "a", Op: OpEq, Value: types.NewInt(1)},
+		{Column: "b", Op: OpLt, Value: types.NewInt(10)},
+		{Column: "c", Op: OpGe, Value: types.NewString("x")},
+	}
+	for i, c := range want {
+		got := w.Conjuncts[i]
+		if got.Column != c.Column || got.Op != c.Op || !got.Value.Equal(c.Value) {
+			t.Errorf("conjunct %d = %+v", i, got)
+		}
+	}
+}
+
+func TestParseBetweenDesugars(t *testing.T) {
+	s := MustParse("SELECT a FROM t WHERE a BETWEEN 3 AND 7").(*Select)
+	w := s.Where
+	if len(w.Conjuncts) != 2 {
+		t.Fatalf("between produced %d conjuncts", len(w.Conjuncts))
+	}
+	if w.Conjuncts[0].Op != OpGe || w.Conjuncts[0].Value.Int != 3 {
+		t.Errorf("low bound = %+v", w.Conjuncts[0])
+	}
+	if w.Conjuncts[1].Op != OpLe || w.Conjuncts[1].Value.Int != 7 {
+		t.Errorf("high bound = %+v", w.Conjuncts[1])
+	}
+}
+
+func TestParseBetweenThenAnd(t *testing.T) {
+	s := MustParse("SELECT a FROM t WHERE a BETWEEN 3 AND 7 AND b = 1").(*Select)
+	if len(s.Where.Conjuncts) != 3 {
+		t.Fatalf("conjuncts = %v", s.Where.Conjuncts)
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	s := MustParse("SELECT a FROM t ORDER BY b DESC LIMIT 10").(*Select)
+	if s.Order == nil || s.Order.Column != "b" || !s.Order.Desc {
+		t.Errorf("order = %+v", s.Order)
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+	s = MustParse("SELECT a FROM t ORDER BY b ASC").(*Select)
+	if s.Order.Desc {
+		t.Error("ASC parsed as DESC")
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	s := MustParse("SELECT a FROM t WHERE a = -42").(*Select)
+	if s.Where.Conjuncts[0].Value.Int != -42 {
+		t.Errorf("value = %v", s.Where.Conjuncts[0].Value)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	s := MustParse("SELECT a FROM t WHERE n = 'o''brien'").(*Select)
+	if s.Where.Conjuncts[0].Value.Str != "o'brien" {
+		t.Errorf("value = %q", s.Where.Conjuncts[0].Value.Str)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s := MustParse("INSERT INTO t VALUES (1, 'x'), (2, 'y')").(*Insert)
+	if s.Table != "t" || len(s.Rows) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if !s.Rows[0].Equal(types.Row{types.NewInt(1), types.NewString("x")}) {
+		t.Errorf("row 0 = %v", s.Rows[0])
+	}
+}
+
+func TestParseInsertWithColumns(t *testing.T) {
+	s := MustParse("INSERT INTO t (b, a) VALUES ('x', 1)").(*Insert)
+	if len(s.Columns) != 2 || s.Columns[0] != "b" || s.Columns[1] != "a" {
+		t.Errorf("columns = %v", s.Columns)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	s := MustParse("UPDATE t SET a = 5, b = 'z' WHERE c > 3").(*Update)
+	if len(s.Set) != 2 || s.Set[0].Column != "a" || s.Set[1].Value.Str != "z" {
+		t.Errorf("set = %+v", s.Set)
+	}
+	if s.Where == nil || len(s.Where.Conjuncts) != 1 {
+		t.Errorf("where = %+v", s.Where)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	s := MustParse("DELETE FROM t WHERE a = 1").(*Delete)
+	if s.Table != "t" || len(s.Where.Conjuncts) != 1 {
+		t.Errorf("parsed %+v", s)
+	}
+	s = MustParse("DELETE FROM t").(*Delete)
+	if s.Where != nil {
+		t.Error("bare DELETE has a where clause")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := MustParse("CREATE TABLE t (a INT, b STRING, c integer)").(*CreateTable)
+	if s.Table != "t" || len(s.Columns) != 3 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Columns[0].Kind != types.KindInt || s.Columns[1].Kind != types.KindString || s.Columns[2].Kind != types.KindInt {
+		t.Errorf("kinds = %+v", s.Columns)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	s := MustParse("CREATE INDEX ON t (a, b)").(*CreateIndex)
+	if s.Table != "t" || len(s.Columns) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	// With an explicit (ignored) name.
+	s = MustParse("CREATE INDEX myidx ON t (a)").(*CreateIndex)
+	if s.Table != "t" || len(s.Columns) != 1 || s.Columns[0] != "a" {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestParseDropIndexCanonicalName(t *testing.T) {
+	s := MustParse("DROP INDEX I(a,b) ON t").(*DropIndex)
+	if s.Name != "I(a,b)" || s.Table != "t" {
+		t.Errorf("parsed %+v", s)
+	}
+	s = MustParse("DROP INDEX plain ON t").(*DropIndex)
+	if s.Name != "plain" {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t;"); err != nil {
+		t.Errorf("trailing semicolon rejected: %v", err)
+	}
+	if _, err := Parse("SELECT * FROM t; SELECT * FROM u"); err == nil {
+		t.Error("two statements accepted")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := MustParse("SELECT a FROM t -- trailing comment\nWHERE a = 1").(*Select)
+	if s.Where == nil {
+		t.Error("comment swallowed the WHERE clause")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select a from t where a = 1 order by a limit 5"); err != nil {
+		t.Errorf("lower-case SQL rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROBNICATE t",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a, FROM t",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a",
+		"SELECT a FROM t WHERE a !! 3",
+		"SELECT a FROM t WHERE a = ",
+		"SELECT a FROM t LIMIT -3",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT MIN(*) FROM t",
+		"SELECT COUNT( FROM t",
+		"SELECT COUNT(a FROM t",
+		"SELECT a FROM t GROUP BY",
+		"SELECT * FROM t GROUP BY a",
+		"INSERT INTO t",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES (1",
+		"UPDATE t SET",
+		"UPDATE t SET a",
+		"DELETE t",
+		"CREATE VIEW v",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a FLOAT)",
+		"CREATE INDEX ON t",
+		"DROP INDEX ON t",
+		"SELECT a FROM t WHERE s = 'unterminated",
+		"SELECT a FROM t ??",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on garbage did not panic")
+		}
+	}()
+	MustParse("not sql")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Statement -> String -> Parse -> String must be a fixed point.
+	queries := []string{
+		"SELECT * FROM t",
+		"SELECT COUNT(*) FROM t",
+		"SELECT a, b FROM t WHERE a = 1 AND b >= 'x' ORDER BY b DESC LIMIT 3",
+		"SELECT a FROM t WHERE a = -5",
+		"INSERT INTO t VALUES (1, 'x')",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+		"UPDATE t SET a = 2 WHERE b = 'q'",
+		"DELETE FROM t WHERE a < 4",
+		"CREATE TABLE t (a INT, b STRING)",
+		"CREATE INDEX ON t (a, b)",
+		"DROP INDEX I(a,b) ON t",
+		"DROP TABLE t",
+	}
+	for _, q := range queries {
+		s1 := MustParse(q).String()
+		s2 := MustParse(s1).String()
+		if s1 != s2 {
+			t.Errorf("String round trip not fixed: %q -> %q -> %q", q, s1, s2)
+		}
+	}
+}
+
+func TestReferencedColumns(t *testing.T) {
+	s := MustParse("SELECT a, b FROM t WHERE b = 1 AND c < 2 ORDER BY d").(*Select)
+	got := s.ReferencedColumns()
+	want := []string{"a", "b", "c", "d"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("ReferencedColumns = %v, want %v", got, want)
+	}
+	// Case-insensitive dedup.
+	s = MustParse("SELECT A FROM t WHERE a = 1").(*Select)
+	if len(s.ReferencedColumns()) != 1 {
+		t.Errorf("dedup failed: %v", s.ReferencedColumns())
+	}
+}
+
+func TestCompareOpString(t *testing.T) {
+	ops := map[CompareOp]string{OpEq: "=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", int(op), op.String())
+		}
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s := MustParse("SELECT b, COUNT(*), MIN(a), MAX(a), SUM(a), AVG(a) FROM t GROUP BY b").(*Select)
+	if !s.HasAggregates() || s.CountStar {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.GroupBy != "b" {
+		t.Errorf("GroupBy = %q", s.GroupBy)
+	}
+	if len(s.Items) != 6 || s.Items[0].IsAgg || !s.Items[1].IsAgg {
+		t.Fatalf("items = %+v", s.Items)
+	}
+	aggs := s.Aggregates()
+	want := []AggExpr{
+		{Func: AggCount}, {Func: AggMin, Column: "a"}, {Func: AggMax, Column: "a"},
+		{Func: AggSum, Column: "a"}, {Func: AggAvg, Column: "a"},
+	}
+	if len(aggs) != len(want) {
+		t.Fatalf("aggs = %v", aggs)
+	}
+	for i := range want {
+		if aggs[i] != want[i] {
+			t.Errorf("agg %d = %v, want %v", i, aggs[i], want[i])
+		}
+	}
+	// Plain columns recorded alongside.
+	if len(s.Columns) != 1 || s.Columns[0] != "b" {
+		t.Errorf("columns = %v", s.Columns)
+	}
+}
+
+func TestParseBareCountStarStaysLegacy(t *testing.T) {
+	s := MustParse("SELECT COUNT(*) FROM t").(*Select)
+	if !s.CountStar || s.HasAggregates() {
+		t.Errorf("parsed %+v", s)
+	}
+	// COUNT(*) with GROUP BY is not the legacy form.
+	s = MustParse("SELECT b, COUNT(*) FROM t GROUP BY b").(*Select)
+	if s.CountStar || !s.HasAggregates() {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+func TestAggregateNamesAsColumns(t *testing.T) {
+	// MIN etc. without parentheses are ordinary column names.
+	s := MustParse("SELECT min, count FROM t WHERE max = 3").(*Select)
+	if s.HasAggregates() || len(s.Columns) != 2 {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+func TestAggregateStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT b, COUNT(*) FROM t GROUP BY b",
+		"SELECT MIN(a), MAX(a) FROM t WHERE b = 1",
+		"SELECT b, AVG(a) FROM t GROUP BY b ORDER BY b DESC LIMIT 3",
+		"SELECT SUM(a) FROM t",
+	}
+	for _, q := range queries {
+		s1 := MustParse(q).String()
+		s2 := MustParse(s1).String()
+		if s1 != s2 {
+			t.Errorf("round trip: %q -> %q -> %q", q, s1, s2)
+		}
+	}
+}
+
+func TestReferencedColumnsWithAggregates(t *testing.T) {
+	s := MustParse("SELECT b, MIN(a) FROM t WHERE c = 1 GROUP BY b").(*Select)
+	got := strings.Join(s.ReferencedColumns(), ",")
+	if got != "b,a,c" {
+		t.Errorf("ReferencedColumns = %q", got)
+	}
+}
+
+func TestParseInAndDistinct(t *testing.T) {
+	s := MustParse("SELECT DISTINCT a FROM t WHERE b IN (3, 1, 2, 2)").(*Select)
+	if !s.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	c := s.Where.Conjuncts[0]
+	if c.Op != OpIn || len(c.Values) != 3 {
+		t.Fatalf("IN conjunct = %+v", c)
+	}
+	// Sorted and deduplicated.
+	for i, want := range []int64{1, 2, 3} {
+		if c.Values[i].Int != want {
+			t.Errorf("IN value %d = %v", i, c.Values[i])
+		}
+	}
+	// Round trip.
+	s1 := s.String()
+	s2 := MustParse(s1).String()
+	if s1 != s2 {
+		t.Errorf("round trip %q -> %q", s1, s2)
+	}
+	if s1 != "SELECT DISTINCT a FROM t WHERE b IN (1, 2, 3)" {
+		t.Errorf("rendered %q", s1)
+	}
+}

@@ -1,0 +1,265 @@
+// Package stats builds and serves table statistics: row counts, per-column
+// distinct counts, min/max, and equi-depth histograms. The what-if cost
+// model uses these to estimate predicate selectivities exactly the way the
+// planner does, so EXEC(S,C) estimates agree with what execution would pay.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"dyndesign/internal/storage"
+	"dyndesign/internal/types"
+)
+
+// DefaultBuckets is the default number of equi-depth histogram buckets.
+const DefaultBuckets = 100
+
+// Bucket is one equi-depth histogram bucket: it covers values in
+// (previous bucket's Upper, Upper], holding Count rows over Distinct
+// distinct values. The first bucket's lower bound is the column minimum,
+// inclusive.
+type Bucket struct {
+	Upper    types.Value
+	Count    int64
+	Distinct int64
+}
+
+// Histogram is an equi-depth histogram over one column.
+type Histogram struct {
+	Min     types.Value
+	Max     types.Value
+	Buckets []Bucket
+	Rows    int64
+}
+
+// ColumnStats aggregates the statistics of one column.
+type ColumnStats struct {
+	Column string
+	Rows   int64
+	NDV    int64
+	Hist   *Histogram
+}
+
+// TableStats aggregates the statistics of one table.
+type TableStats struct {
+	Table    string
+	Rows     int64
+	RowBytes float64 // average encoded row size
+	Columns  map[string]*ColumnStats
+}
+
+// Build scans the heap once and computes statistics for every column of
+// the schema. numBuckets controls histogram resolution (DefaultBuckets if
+// <= 0). The scan charges page reads to the heap's stats, as a real
+// ANALYZE would.
+func Build(table string, schema *types.Schema, heap *storage.HeapFile, numBuckets int) (*TableStats, error) {
+	if numBuckets <= 0 {
+		numBuckets = DefaultBuckets
+	}
+	cols := schema.Columns
+	samples := make([][]types.Value, len(cols))
+	var rows int64
+	var bytes int64
+	var scanErr error
+	heap.Scan(func(rid storage.RID, payload []byte) bool {
+		row, err := types.DecodeRow(payload)
+		if err != nil {
+			scanErr = fmt.Errorf("stats: decoding row %s: %w", rid, err)
+			return false
+		}
+		if len(row) != len(cols) {
+			scanErr = fmt.Errorf("stats: row %s has %d values, schema %d", rid, len(row), len(cols))
+			return false
+		}
+		for i, v := range row {
+			samples[i] = append(samples[i], v)
+		}
+		rows++
+		bytes += int64(len(payload))
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	ts := &TableStats{
+		Table:   table,
+		Rows:    rows,
+		Columns: make(map[string]*ColumnStats, len(cols)),
+	}
+	if rows > 0 {
+		ts.RowBytes = float64(bytes) / float64(rows)
+	}
+	for i, c := range cols {
+		ts.Columns[lower(c.Name)] = buildColumn(c.Name, samples[i], numBuckets)
+	}
+	return ts, nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func buildColumn(name string, vals []types.Value, numBuckets int) *ColumnStats {
+	cs := &ColumnStats{Column: name, Rows: int64(len(vals))}
+	if len(vals) == 0 {
+		return cs
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	h := &Histogram{Min: vals[0], Max: vals[len(vals)-1], Rows: int64(len(vals))}
+
+	perBucket := (len(vals) + numBuckets - 1) / numBuckets
+	if perBucket < 1 {
+		perBucket = 1
+	}
+	// Walk runs of equal values. A run at least as large as a bucket
+	// becomes its own singleton bucket (end-biased histogram), so hot
+	// values get exact equality estimates instead of being averaged with
+	// their bucket neighbours.
+	var ndv int64
+	var cur Bucket
+	flush := func() {
+		if cur.Count > 0 {
+			h.Buckets = append(h.Buckets, cur)
+			cur = Bucket{}
+		}
+	}
+	i := 0
+	for i < len(vals) {
+		j := i + 1
+		for j < len(vals) && vals[j].Equal(vals[i]) {
+			j++
+		}
+		runLen := int64(j - i)
+		ndv++
+		if runLen >= int64(perBucket) {
+			flush()
+			h.Buckets = append(h.Buckets, Bucket{Upper: vals[i], Count: runLen, Distinct: 1})
+		} else {
+			cur.Upper = vals[i]
+			cur.Count += runLen
+			cur.Distinct++
+			if cur.Count >= int64(perBucket) {
+				flush()
+			}
+		}
+		i = j
+	}
+	flush()
+	cs.NDV = ndv
+	cs.Hist = h
+	return cs
+}
+
+// Column returns the stats for a column (case-insensitive), or nil.
+func (ts *TableStats) Column(name string) *ColumnStats {
+	return ts.Columns[lower(name)]
+}
+
+// SelectivityEq estimates the fraction of rows with column = v.
+func (cs *ColumnStats) SelectivityEq(v types.Value) float64 {
+	if cs.Rows == 0 || cs.Hist == nil {
+		return 0
+	}
+	h := cs.Hist
+	if v.Compare(h.Min) < 0 || v.Compare(h.Max) > 0 {
+		return 0
+	}
+	b := h.bucketFor(v)
+	if b == nil || b.Distinct == 0 {
+		return 0
+	}
+	return float64(b.Count) / float64(b.Distinct) / float64(cs.Rows)
+}
+
+// SelectivityRange estimates the fraction of rows with low <= column <
+// high. A nil bound is unbounded. Partial buckets are interpolated
+// linearly for integer columns and taken as half for string columns.
+func (cs *ColumnStats) SelectivityRange(low, high *types.Value) float64 {
+	if cs.Rows == 0 || cs.Hist == nil {
+		return 0
+	}
+	hiFrac := 1.0
+	if high != nil {
+		hiFrac = cs.Hist.fracBelow(*high)
+	}
+	loFrac := 0.0
+	if low != nil {
+		loFrac = cs.Hist.fracBelow(*low)
+	}
+	frac := hiFrac - loFrac
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// bucketFor returns the bucket containing v, or nil.
+func (h *Histogram) bucketFor(v types.Value) *Bucket {
+	lo, hi := 0, len(h.Buckets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.Buckets[mid].Upper.Compare(v) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(h.Buckets) {
+		return nil
+	}
+	return &h.Buckets[lo]
+}
+
+// fracBelow estimates the fraction of rows with value < v.
+func (h *Histogram) fracBelow(v types.Value) float64 {
+	if v.Compare(h.Min) <= 0 {
+		return 0
+	}
+	if v.Compare(h.Max) > 0 {
+		return 1
+	}
+	var below int64
+	lowerBound := h.Min
+	for i := range h.Buckets {
+		b := &h.Buckets[i]
+		if b.Upper.Compare(v) < 0 {
+			below += b.Count
+			lowerBound = b.Upper
+			continue
+		}
+		// v falls in this bucket: interpolate.
+		below += int64(float64(b.Count) * interpolate(lowerBound, b.Upper, v))
+		break
+	}
+	return float64(below) / float64(h.Rows)
+}
+
+// interpolate estimates the fraction of the bucket (lower, upper] that is
+// below v.
+func interpolate(lower, upper, v types.Value) float64 {
+	if v.Kind == types.KindInt && lower.Kind == types.KindInt && upper.Kind == types.KindInt {
+		span := upper.Int - lower.Int
+		if span <= 0 {
+			return 0
+		}
+		f := float64(v.Int-lower.Int) / float64(span)
+		if f < 0 {
+			return 0
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	return 0.5
+}

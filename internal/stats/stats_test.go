@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyndesign/internal/storage"
+	"dyndesign/internal/types"
+)
+
+func buildHeap(t testing.TB, rows []types.Row) *storage.HeapFile {
+	t.Helper()
+	heap := storage.NewHeapFile(nil)
+	for _, r := range rows {
+		payload, err := types.EncodeRow(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := heap.Insert(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return heap
+}
+
+func twoColSchema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "a", Kind: types.KindInt},
+		types.Column{Name: "s", Kind: types.KindString},
+	)
+}
+
+func TestBuildBasics(t *testing.T) {
+	var rows []types.Row
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i % 100)), types.NewString("x")})
+	}
+	ts, err := Build("t", twoColSchema(), buildHeap(t, rows), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 1000 {
+		t.Errorf("Rows = %d", ts.Rows)
+	}
+	if ts.RowBytes <= 0 {
+		t.Errorf("RowBytes = %f", ts.RowBytes)
+	}
+	cs := ts.Column("a")
+	if cs == nil {
+		t.Fatal("no stats for column a")
+	}
+	if cs.NDV != 100 {
+		t.Errorf("NDV = %d, want 100", cs.NDV)
+	}
+	if cs.Hist.Min.Int != 0 || cs.Hist.Max.Int != 99 {
+		t.Errorf("min/max = %v/%v", cs.Hist.Min, cs.Hist.Max)
+	}
+	// Case-insensitive lookup.
+	if ts.Column("A") == nil {
+		t.Error("case-insensitive column lookup failed")
+	}
+	if ts.Column("zzz") != nil {
+		t.Error("lookup of missing column returned stats")
+	}
+}
+
+func TestBuildEmptyTable(t *testing.T) {
+	ts, err := Build("t", twoColSchema(), storage.NewHeapFile(nil), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 0 {
+		t.Errorf("Rows = %d", ts.Rows)
+	}
+	cs := ts.Column("a")
+	if cs == nil || cs.Rows != 0 {
+		t.Fatalf("empty column stats = %+v", cs)
+	}
+	if got := cs.SelectivityEq(types.NewInt(5)); got != 0 {
+		t.Errorf("empty SelectivityEq = %f", got)
+	}
+	if got := cs.SelectivityRange(nil, nil); got != 0 {
+		t.Errorf("empty SelectivityRange = %f", got)
+	}
+}
+
+func TestSelectivityEqUniform(t *testing.T) {
+	// Uniform values 0..499 over 5000 rows: each value ~10 rows, eq
+	// selectivity ~1/500.
+	rng := rand.New(rand.NewSource(17))
+	var rows []types.Row
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(rng.Intn(500))), types.NewString("x")})
+	}
+	ts, err := Build("t", twoColSchema(), buildHeap(t, rows), DefaultBuckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := ts.Column("a")
+	got := cs.SelectivityEq(types.NewInt(250))
+	want := 1.0 / 500
+	if got < want/3 || got > want*3 {
+		t.Errorf("SelectivityEq = %g, want ~%g", got, want)
+	}
+	// Out of range values have zero selectivity.
+	if cs.SelectivityEq(types.NewInt(-5)) != 0 || cs.SelectivityEq(types.NewInt(10000)) != 0 {
+		t.Error("out-of-range selectivity not 0")
+	}
+}
+
+func TestSelectivityEqSkewed(t *testing.T) {
+	// One hot value (90%) and many cold ones: the hot value's estimate
+	// must be much larger than a cold one's.
+	var rows []types.Row
+	for i := 0; i < 10000; i++ {
+		v := int64(7)
+		if i%10 == 0 {
+			v = int64(1000 + i)
+		}
+		rows = append(rows, types.Row{types.NewInt(v), types.NewString("x")})
+	}
+	ts, _ := Build("t", twoColSchema(), buildHeap(t, rows), DefaultBuckets)
+	cs := ts.Column("a")
+	hot := cs.SelectivityEq(types.NewInt(7))
+	cold := cs.SelectivityEq(types.NewInt(1010))
+	if hot < 0.5 {
+		t.Errorf("hot value selectivity = %g, want ~0.9", hot)
+	}
+	if cold > 0.01 {
+		t.Errorf("cold value selectivity = %g, want tiny", cold)
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	// Values exactly 0..999 once each.
+	var rows []types.Row
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i)), types.NewString("x")})
+	}
+	ts, _ := Build("t", twoColSchema(), buildHeap(t, rows), 50)
+	cs := ts.Column("a")
+	lo, hi := types.NewInt(100), types.NewInt(300)
+	got := cs.SelectivityRange(&lo, &hi)
+	if math.Abs(got-0.2) > 0.05 {
+		t.Errorf("range [100,300) selectivity = %g, want ~0.2", got)
+	}
+	// Unbounded ranges.
+	if got := cs.SelectivityRange(nil, nil); math.Abs(got-1.0) > 0.01 {
+		t.Errorf("unbounded selectivity = %g", got)
+	}
+	if got := cs.SelectivityRange(&lo, nil); math.Abs(got-0.9) > 0.05 {
+		t.Errorf("[100,inf) selectivity = %g, want ~0.9", got)
+	}
+	if got := cs.SelectivityRange(nil, &hi); math.Abs(got-0.3) > 0.05 {
+		t.Errorf("(-inf,300) selectivity = %g, want ~0.3", got)
+	}
+	// Inverted range clamps to 0.
+	if got := cs.SelectivityRange(&hi, &lo); got != 0 {
+		t.Errorf("inverted range = %g", got)
+	}
+}
+
+func TestHotValueNeverStraddlesBuckets(t *testing.T) {
+	// 50% of rows share one value; the equality estimate must see the
+	// whole spike even with many buckets.
+	var rows []types.Row
+	for i := 0; i < 2000; i++ {
+		v := int64(i)
+		if i%2 == 0 {
+			v = 500
+		}
+		rows = append(rows, types.Row{types.NewInt(v), types.NewString("x")})
+	}
+	ts, _ := Build("t", twoColSchema(), buildHeap(t, rows), 64)
+	got := ts.Column("a").SelectivityEq(types.NewInt(500))
+	if got < 0.4 {
+		t.Errorf("hot value estimate = %g, want ~0.5", got)
+	}
+}
+
+func TestStringColumnStats(t *testing.T) {
+	var rows []types.Row
+	words := []string{"apple", "banana", "cherry", "date"}
+	for i := 0; i < 400; i++ {
+		rows = append(rows, types.Row{types.NewInt(0), types.NewString(words[i%4])})
+	}
+	ts, _ := Build("t", twoColSchema(), buildHeap(t, rows), 10)
+	cs := ts.Column("s")
+	if cs.NDV != 4 {
+		t.Errorf("string NDV = %d", cs.NDV)
+	}
+	got := cs.SelectivityEq(types.NewString("banana"))
+	if math.Abs(got-0.25) > 0.1 {
+		t.Errorf("string eq selectivity = %g, want ~0.25", got)
+	}
+}
+
+func TestNDVSumAcrossBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	distinct := make(map[int64]bool)
+	var rows []types.Row
+	for i := 0; i < 3000; i++ {
+		v := int64(rng.Intn(700))
+		distinct[v] = true
+		rows = append(rows, types.Row{types.NewInt(v), types.NewString("x")})
+	}
+	ts, _ := Build("t", twoColSchema(), buildHeap(t, rows), 30)
+	if got := ts.Column("a").NDV; got != int64(len(distinct)) {
+		t.Errorf("NDV = %d, want %d (exact)", got, len(distinct))
+	}
+}
+
+func TestSelectivitySumsToOneProperty(t *testing.T) {
+	// The sum of eq selectivities over all distinct values approximates 1.
+	rng := rand.New(rand.NewSource(8))
+	var rows []types.Row
+	vals := make(map[int64]bool)
+	for i := 0; i < 2000; i++ {
+		v := int64(rng.Intn(200))
+		vals[v] = true
+		rows = append(rows, types.Row{types.NewInt(v), types.NewString("x")})
+	}
+	ts, _ := Build("t", twoColSchema(), buildHeap(t, rows), 20)
+	cs := ts.Column("a")
+	sum := 0.0
+	for v := range vals {
+		sum += cs.SelectivityEq(types.NewInt(v))
+	}
+	if math.Abs(sum-1.0) > 0.1 {
+		t.Errorf("sum of eq selectivities = %g, want ~1", sum)
+	}
+}
+
+func TestBucketCountRespected(t *testing.T) {
+	var rows []types.Row
+	for i := 0; i < 10000; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i)), types.NewString("x")})
+	}
+	ts, _ := Build("t", twoColSchema(), buildHeap(t, rows), 16)
+	nb := len(ts.Column("a").Hist.Buckets)
+	if nb < 8 || nb > 32 {
+		t.Errorf("bucket count = %d, want ~16", nb)
+	}
+}

@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HeapFile is an unordered collection of rows stored in slotted pages.
+// It is the physical representation of a table; secondary indexes refer
+// into it by RID.
+//
+// All methods charge logical page accesses to the file's AccessStats.
+// HeapFile is safe for concurrent use by multiple goroutines.
+type HeapFile struct {
+	mu    sync.RWMutex
+	pages []*Page
+	stats *AccessStats
+	rows  int64
+	// insertHint is the page most likely to have free space; inserts try
+	// it first and fall back to a scan, so the common append workload is
+	// O(1) per insert.
+	insertHint PageID
+}
+
+// NewHeapFile creates an empty heap file charging accesses to stats.
+// A nil stats is allowed and disables counting.
+func NewHeapFile(stats *AccessStats) *HeapFile {
+	return &HeapFile{stats: stats}
+}
+
+// NumPages returns the number of allocated pages.
+func (h *HeapFile) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
+
+// NumRows returns the number of live rows.
+func (h *HeapFile) NumRows() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rows
+}
+
+// Stats returns the access counter shared by this file.
+func (h *HeapFile) Stats() *AccessStats { return h.stats }
+
+func (h *HeapFile) newPage() *Page {
+	p := &Page{}
+	p.init(PageID(len(h.pages)))
+	h.pages = append(h.pages, p)
+	return p
+}
+
+func (h *HeapFile) page(id PageID) (*Page, error) {
+	if int(id) >= len(h.pages) {
+		return nil, fmt.Errorf("storage: heap has no page %d", id)
+	}
+	return h.pages[id], nil
+}
+
+// Insert stores payload and returns its RID. Payloads larger than
+// MaxPayload are rejected; the engine's rows are always far smaller.
+func (h *HeapFile) Insert(payload []byte) (RID, error) {
+	if len(payload) > MaxPayload {
+		return RID{}, fmt.Errorf("storage: payload of %d bytes exceeds page capacity %d", len(payload), MaxPayload)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	// Fast path: the hinted page.
+	if int(h.insertHint) < len(h.pages) {
+		p := h.pages[h.insertHint]
+		if slot, ok := p.insert(payload); ok {
+			h.stats.Write(1)
+			h.rows++
+			return RID{Page: p.id, Slot: slot}, nil
+		}
+	}
+	// Slow path: scan for any page with room (keeps pages dense after
+	// deletions), then allocate.
+	for _, p := range h.pages {
+		if p.canFit(len(payload)) {
+			if slot, ok := p.insert(payload); ok {
+				h.stats.Write(1)
+				h.rows++
+				h.insertHint = p.id
+				return RID{Page: p.id, Slot: slot}, nil
+			}
+		}
+	}
+	p := h.newPage()
+	slot, ok := p.insert(payload)
+	if !ok {
+		return RID{}, fmt.Errorf("storage: payload of %d bytes does not fit a fresh page", len(payload))
+	}
+	h.stats.Write(1)
+	h.rows++
+	h.insertHint = p.id
+	return RID{Page: p.id, Slot: slot}, nil
+}
+
+// Get returns a copy of the payload stored at rid, charging one page
+// read.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	p, err := h.page(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	h.stats.Read(1)
+	payload, err := p.payload(rid.Slot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+// Delete removes the row at rid, charging one page write.
+func (h *HeapFile) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, err := h.page(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := p.delete(rid.Slot); err != nil {
+		return err
+	}
+	h.stats.Write(1)
+	h.rows--
+	return nil
+}
+
+// Update replaces the payload at rid. If the new payload fits in place
+// the RID is unchanged; otherwise the row moves and the new RID is
+// returned — callers (the index manager) must then update index entries.
+func (h *HeapFile) Update(rid RID, payload []byte) (RID, error) {
+	if len(payload) > MaxPayload {
+		return RID{}, fmt.Errorf("storage: payload of %d bytes exceeds page capacity %d", len(payload), MaxPayload)
+	}
+	h.mu.Lock()
+	p, err := h.page(rid.Page)
+	if err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	ok, err := p.updateInPlace(rid.Slot, payload)
+	if err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	if ok {
+		h.stats.Write(1)
+		h.mu.Unlock()
+		return rid, nil
+	}
+	// Move: delete then insert. Release the lock between the two steps is
+	// not needed — do both under the same critical section by inlining.
+	if err := p.delete(rid.Slot); err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	h.stats.Write(1)
+	h.rows--
+	h.mu.Unlock()
+	return h.Insert(payload)
+}
+
+// Scan calls fn for every live row in RID order, charging one read per
+// page visited. Scanning stops early if fn returns false. The payload
+// slice passed to fn aliases page memory and must not be retained.
+func (h *HeapFile) Scan(fn func(rid RID, payload []byte) bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, p := range h.pages {
+		h.stats.Read(1)
+		stop := false
+		p.liveSlots(func(slot uint16, payload []byte) bool {
+			if !fn(RID{Page: p.id, Slot: slot}, payload) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// CheckInvariants verifies internal consistency: the live-row count
+// matches the per-page slot accounting and every live payload is
+// reachable through Get. It is used by tests and returns the first
+// violation found.
+func (h *HeapFile) CheckInvariants() error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var live int64
+	for _, p := range h.pages {
+		live += int64(p.liveCount())
+		if int(p.freeEnd()) < pageHeaderSize+int(p.slotCount())*slotEntrySize {
+			return fmt.Errorf("storage: page %d slot directory overlaps payload region", p.id)
+		}
+		var payloadBytes int
+		p.liveSlots(func(slot uint16, payload []byte) bool {
+			payloadBytes += len(payload)
+			return true
+		})
+		used := PageSize - int(p.freeEnd())
+		if payloadBytes+int(p.garbage()) > used {
+			return fmt.Errorf("storage: page %d accounting mismatch: %d live + %d garbage > %d used",
+				p.id, payloadBytes, p.garbage(), used)
+		}
+	}
+	if live != h.rows {
+		return fmt.Errorf("storage: heap row count %d != live slots %d", h.rows, live)
+	}
+	return nil
+}

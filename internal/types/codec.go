@@ -1,0 +1,96 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The row codec serializes rows into the byte payloads stored in heap
+// pages. The format is self-describing (each value carries a kind tag) so
+// a row can be decoded without the schema; the engine still validates the
+// decoded row against the catalog schema.
+//
+// Layout:
+//
+//	uint16  column count
+//	repeat: uint8 kind tag, then
+//	        int:    8-byte big-endian two's complement
+//	        string: uint32 length + bytes
+
+// EncodeRow appends the binary encoding of the row to dst and returns the
+// extended slice.
+func EncodeRow(dst []byte, r Row) ([]byte, error) {
+	if len(r) > 0xFFFF {
+		return nil, fmt.Errorf("types: row too wide (%d values)", len(r))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r)))
+	for i, v := range r {
+		switch v.Kind {
+		case KindInt:
+			dst = append(dst, byte(KindInt))
+			dst = binary.BigEndian.AppendUint64(dst, uint64(v.Int))
+		case KindString:
+			if len(v.Str) > 0x7FFFFFFF {
+				return nil, fmt.Errorf("types: string value too long (%d bytes)", len(v.Str))
+			}
+			dst = append(dst, byte(KindString))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.Str)))
+			dst = append(dst, v.Str...)
+		default:
+			return nil, fmt.Errorf("types: cannot encode invalid value at position %d", i)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRow parses a row from buf. The buffer must contain exactly one
+// encoded row; trailing bytes are an error so that storage corruption is
+// detected rather than silently ignored.
+func DecodeRow(buf []byte) (Row, error) {
+	return DecodeRowInto(nil, buf)
+}
+
+// DecodeRowInto is DecodeRow reusing the caller's row storage (appending
+// from dst[:0]) so scan loops allocate nothing per row. String values
+// still copy their payloads; callers that retain the row across calls
+// must Clone it.
+func DecodeRowInto(dst Row, buf []byte) (Row, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("types: row buffer too short (%d bytes)", len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	r := dst[:0]
+	for i := 0; i < n; i++ {
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("types: truncated row at value %d", i)
+		}
+		kind := Kind(buf[0])
+		buf = buf[1:]
+		switch kind {
+		case KindInt:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("types: truncated int at value %d", i)
+			}
+			r = append(r, NewInt(int64(binary.BigEndian.Uint64(buf))))
+			buf = buf[8:]
+		case KindString:
+			if len(buf) < 4 {
+				return nil, fmt.Errorf("types: truncated string length at value %d", i)
+			}
+			sz := int(binary.BigEndian.Uint32(buf))
+			buf = buf[4:]
+			if len(buf) < sz {
+				return nil, fmt.Errorf("types: truncated string payload at value %d", i)
+			}
+			r = append(r, NewString(string(buf[:sz])))
+			buf = buf[sz:]
+		default:
+			return nil, fmt.Errorf("types: unknown kind tag %d at value %d", kind, i)
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("types: %d trailing bytes after row", len(buf))
+	}
+	return r, nil
+}

@@ -1,0 +1,107 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRowRoundTrip(t *testing.T) {
+	rows := []Row{
+		{},
+		{NewInt(0)},
+		{NewInt(math.MinInt64), NewInt(math.MaxInt64)},
+		{NewString("")},
+		{NewString("hello"), NewInt(-1), NewString("wörld")},
+		{NewString(string([]byte{0, 1, 2, 255}))},
+	}
+	for _, r := range rows {
+		buf, err := EncodeRow(nil, r)
+		if err != nil {
+			t.Fatalf("EncodeRow(%v): %v", r, err)
+		}
+		got, err := DecodeRow(buf)
+		if err != nil {
+			t.Fatalf("DecodeRow(%v): %v", r, err)
+		}
+		if !got.Equal(r) {
+			t.Errorf("round trip %v -> %v", r, got)
+		}
+	}
+}
+
+func TestEncodeRowAppendsToDst(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	buf, err := EncodeRow(prefix, Row{NewInt(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA || buf[1] != 0xBB {
+		t.Error("EncodeRow clobbered dst prefix")
+	}
+	got, err := DecodeRow(buf[2:])
+	if err != nil || len(got) != 1 || got[0].Int != 7 {
+		t.Errorf("decode after prefix: %v, %v", got, err)
+	}
+}
+
+func TestEncodedSizeMatchesActual(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewInt(2)},
+		{NewString("abcdef")},
+		{NewInt(-5), NewString("")},
+	}
+	for _, r := range rows {
+		buf, err := EncodeRow(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != r.EncodedSize() {
+			t.Errorf("EncodedSize(%v) = %d, actual %d", r, r.EncodedSize(), len(buf))
+		}
+	}
+}
+
+func TestEncodeRowRejectsInvalidValue(t *testing.T) {
+	if _, err := EncodeRow(nil, Row{{}}); err == nil {
+		t.Error("invalid value encoded without error")
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	good, err := EncodeRow(nil, Row{NewInt(1), NewString("abc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{0}},
+		{"truncated int", good[:5]},
+		{"truncated string payload", good[:len(good)-1]},
+		{"trailing garbage", append(append([]byte(nil), good...), 0xFF)},
+		{"bad kind tag", []byte{0, 1, 0x7F}},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRow(c.buf); err == nil {
+			t.Errorf("%s: decode succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestRowCodecRoundTripProperty(t *testing.T) {
+	f := func(a, b int64, s string) bool {
+		r := Row{NewInt(a), NewString(s), NewInt(b)}
+		buf, err := EncodeRow(nil, r)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRow(buf)
+		return err == nil && got.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

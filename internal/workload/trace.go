@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceJSON is the on-disk trace format: one SQL string per statement,
+// with optional parallel labels.
+type traceJSON struct {
+	Name       string   `json:"name,omitempty"`
+	Statements []string `json:"statements"`
+	Labels     []string `json:"labels,omitempty"`
+}
+
+// WriteJSON serializes the workload as a JSON trace.
+func (w *Workload) WriteJSON(out io.Writer) error {
+	t := traceJSON{Name: w.Name, Labels: w.Labels}
+	t.Statements = make([]string, len(w.Statements))
+	for i, s := range w.Statements {
+		t.Statements[i] = s.SQL
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// ReadJSON parses a JSON trace, re-parsing every statement.
+func ReadJSON(in io.Reader) (*Workload, error) {
+	var t traceJSON
+	dec := json.NewDecoder(in)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if len(t.Labels) != 0 && len(t.Labels) != len(t.Statements) {
+		return nil, fmt.Errorf("workload: trace has %d labels for %d statements", len(t.Labels), len(t.Statements))
+	}
+	w := &Workload{Name: t.Name, Labels: t.Labels}
+	w.Statements = make([]Statement, len(t.Statements))
+	for i, text := range t.Statements {
+		s, err := NewStatement(text)
+		if err != nil {
+			return nil, fmt.Errorf("workload: statement %d: %w", i, err)
+		}
+		w.Statements[i] = s
+	}
+	return w, nil
+}
