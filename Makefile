@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench tier1
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The -race suite exercises the concurrent costing layer: the sharded
+# what-if cache, the parallel matrix build, and the experiment fan-out.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# tier1 is what CI runs and what every change must keep green.
+tier1: build vet race

@@ -257,6 +257,58 @@ func BenchmarkAblationHybrid(b *testing.B) {
 	}
 }
 
+// --- Parallel costing ------------------------------------------------------
+
+// benchMatrixBuild times one *cold* dense cost-table build — n stages ×
+// m configurations of real what-if EXEC calls, the advisor's dominant
+// expense — at a fixed parallelism degree. A fresh Problem per
+// iteration keeps the exec memo cold so the build measures costing, not
+// map lookups; the per-statement validation pass inside Advisor.Problem
+// is identical in both arms.
+func benchMatrixBuild(b *testing.B, parallelism int) {
+	t2 := getFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _, err := t2.Advisor.Problem(t2.W1, experiments.PaperOptions(core.Unconstrained))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Parallelism = parallelism
+		if err := p.BuildCostTables(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatrixBuildSerial is the single-worker baseline.
+func BenchmarkMatrixBuildSerial(b *testing.B) { benchMatrixBuild(b, 1) }
+
+// BenchmarkMatrixBuildParallel uses one worker per core; compare
+// against BenchmarkMatrixBuildSerial for the costing-layer speedup
+// (≈linear until the validation pass and memory bandwidth dominate).
+func BenchmarkMatrixBuildParallel(b *testing.B) { benchMatrixBuild(b, 0) }
+
+// BenchmarkRecommendConcurrent drives the whole advisor pipeline from
+// several goroutines at once — the "shared advisor under heavy traffic"
+// shape — reporting aggregate throughput per op.
+func BenchmarkRecommendConcurrent(b *testing.B) {
+	t2 := getFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec, err := t2.Advisor.Recommend(t2.W1, experiments.PaperOptions(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rec.Solution.Changes > 2 {
+				b.Fatal("change bound violated")
+			}
+		}
+	})
+}
+
 // BenchmarkAblationWhatIfCosting times one full what-if cost-matrix
 // evaluation (the advisor's preprocessing, shared by every strategy).
 func BenchmarkAblationWhatIfCosting(b *testing.B) {

@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"dyndesign/internal/advisor"
 	"dyndesign/internal/experiments"
 )
 
@@ -28,7 +30,11 @@ func main() {
 	seed := flag.Int64("seed", experiments.DefaultScale.Seed, "random seed")
 	ksFlag := flag.String("ks", "2,4,6,8,10,12,14,16,18", "comma-separated k values for fig4")
 	format := flag.String("format", "text", "output format: text or json")
+	workers := flag.Int("workers", 0, "worker count for parallel what-if costing and experiment fan-out (0 = all cores, 1 = serial)")
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 	asJSON := *format == "json"
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "paperexp: unknown -format %q\n", *format)
@@ -69,6 +75,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
 		os.Exit(1)
 	}
+	costingSummary := func(name string, rec *advisor.Recommendation) {
+		fmt.Fprintf(os.Stderr, "  %s costing: %d what-if calls, %.1f%% cache hit rate, %.1f ms matrix build\n",
+			name, rec.Stats.WhatIfCalls, 100*rec.Stats.HitRate(),
+			float64(rec.MatrixBuildTime.Microseconds())/1000)
+	}
+	costingSummary("unconstrained", t2.Unconstrained)
+	costingSummary("k=2", t2.Constrained)
 	if run("table2") {
 		if asJSON {
 			report.Table2 = t2.Rows

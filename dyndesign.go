@@ -152,6 +152,11 @@ type Solution = core.Solution
 // to use the solvers outside the bundled engine.
 type CostModel = core.CostModel
 
+// Metrics is the costing-layer instrumentation ledger; point
+// Problem.Metrics at one to collect matrix-build counts and wall time
+// across solves (all copies of the Problem feed the same ledger).
+type Metrics = core.Metrics
+
 // ChangePolicy selects how design changes are counted against k.
 type ChangePolicy = core.ChangePolicy
 

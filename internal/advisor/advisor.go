@@ -11,6 +11,7 @@ package advisor
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dyndesign/internal/catalog"
@@ -142,12 +143,19 @@ type execKey struct {
 }
 
 // whatIfModel implements core.CostModel over the engine's what-if cost
-// functions.
+// functions. It is safe for concurrent use: the EXEC memo is a sharded,
+// mutex-guarded cache, TRANS and SIZE are pure functions of immutable
+// physical descriptions, and the call counter is atomic — so one
+// Problem can be shared by several solver goroutines and by the
+// parallel matrix build.
 type whatIfModel struct {
 	table cost.TablePhys
 	phys  []cost.IndexPhys
 	segs  []workload.Segment
-	memo  map[execKey]float64
+	memo  *execCache
+	// whatIfCalls counts individual statement costings (not memo
+	// lookups); see CostStats.
+	whatIfCalls atomic.Int64
 }
 
 func (m *whatIfModel) physFor(c core.Config) []cost.IndexPhys {
@@ -163,7 +171,7 @@ func (m *whatIfModel) physFor(c core.Config) []cost.IndexPhys {
 // when the problem is built, so a cost error here is a bug.
 func (m *whatIfModel) Exec(stage int, c core.Config) float64 {
 	key := execKey{stage: stage, cfg: c}
-	if v, ok := m.memo[key]; ok {
+	if v, ok := m.memo.get(key); ok {
 		return v
 	}
 	idxs := m.physFor(c)
@@ -175,8 +183,18 @@ func (m *whatIfModel) Exec(stage int, c core.Config) float64 {
 		}
 		total += v
 	}
-	m.memo[key] = total
+	m.whatIfCalls.Add(int64(len(m.segs[stage].Statements)))
+	m.memo.put(key, total)
 	return total
+}
+
+// costStats implements statsProvider.
+func (m *whatIfModel) costStats() CostStats {
+	return CostStats{
+		WhatIfCalls:  m.whatIfCalls.Load(),
+		CacheLookups: m.memo.lookups.Load(),
+		CacheHits:    m.memo.hits.Load(),
+	}
 }
 
 // Trans implements core.CostModel: build costs for added structures plus
@@ -228,7 +246,7 @@ func (a *Advisor) Problem(w *workload.Workload, opts Options) (*core.Problem, []
 		table: a.table,
 		phys:  a.phys,
 		segs:  segs,
-		memo:  make(map[execKey]float64),
+		memo:  newExecCache(),
 	}
 	configs := a.space.Configs
 	if configs == nil {
@@ -247,6 +265,7 @@ func (a *Advisor) Problem(w *workload.Workload, opts Options) (*core.Problem, []
 		K:          opts.K,
 		Policy:     opts.Policy,
 		Model:      model,
+		Metrics:    &core.Metrics{},
 	}
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -270,7 +289,7 @@ func (a *Advisor) Recommend(w *workload.Workload, opts Options) (*Recommendation
 	if err != nil {
 		return nil, err
 	}
-	return &Recommendation{
+	rec := &Recommendation{
 		Table:          a.space.Table,
 		StructureNames: a.space.StructureNames(),
 		Structures:     a.space.Structures,
@@ -280,7 +299,9 @@ func (a *Advisor) Recommend(w *workload.Workload, opts Options) (*Recommendation
 		Solution:       sol,
 		Strategy:       strategy,
 		Elapsed:        time.Since(start),
-	}, nil
+	}
+	rec.fillInstrumentation(p)
+	return rec, nil
 }
 
 // RecommendStatic recommends the best single static design for the whole

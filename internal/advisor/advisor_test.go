@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"dyndesign/internal/candidates"
@@ -506,5 +507,95 @@ func TestRenderTimeline(t *testing.T) {
 	rec.RenderTimeline(&sb, -1)
 	if got := strings.Count(sb.String(), "\n"); got != 31 {
 		t.Errorf("auto timeline has %d lines", got)
+	}
+}
+
+// TestSharedProblemConcurrentStrategies is the advisor-level -race
+// stress test: one Problem — one shared what-if model and exec cache —
+// solved by several strategies from many goroutines at once. Ranking
+// variants are excluded because plain ranking is exponential at small k
+// on a problem this long; the core package stress test covers them on a
+// small synthetic model.
+func TestSharedProblemConcurrentStrategies(t *testing.T) {
+	_, adv := testAdvisor(t)
+	w := testWorkload(t)
+	p, _, err := adv.Problem(w, paperOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []core.Strategy{
+		core.StrategyKAware, core.StrategyGreedySeq,
+		core.StrategyMerge, core.StrategyHybrid,
+	}
+	want := map[core.Strategy]float64{}
+	for _, s := range strategies {
+		sol, err := core.Solve(p, s)
+		if err != nil {
+			t.Fatalf("strategy %s (serial): %v", s, err)
+		}
+		want[s] = sol.Cost
+	}
+
+	const repetitions = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, len(strategies)*repetitions)
+	for _, s := range strategies {
+		for r := 0; r < repetitions; r++ {
+			wg.Add(1)
+			go func(s core.Strategy) {
+				defer wg.Done()
+				sol, err := core.Solve(p, s)
+				if err != nil {
+					errs <- fmt.Errorf("strategy %s: %w", s, err)
+					return
+				}
+				if sol.Cost != want[s] {
+					errs <- fmt.Errorf("strategy %s: concurrent cost %v != serial %v", s, sol.Cost, want[s])
+				}
+			}(s)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRecommendationInstrumentation asserts Recommend reports the
+// costing-layer counters the ISSUE requires: what-if call count, cache
+// hit rate, and matrix-build timing.
+func TestRecommendationInstrumentation(t *testing.T) {
+	_, adv := testAdvisor(t)
+	w := testWorkload(t)
+	rec, err := adv.Recommend(w, paperOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Stats.WhatIfCalls <= 0 {
+		t.Errorf("WhatIfCalls = %d, want > 0", rec.Stats.WhatIfCalls)
+	}
+	if rec.Stats.CacheLookups <= 0 {
+		t.Errorf("CacheLookups = %d, want > 0", rec.Stats.CacheLookups)
+	}
+	if hr := rec.Stats.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("HitRate = %v, want within [0, 1]", hr)
+	}
+	if rec.MatrixBuilds <= 0 {
+		t.Errorf("MatrixBuilds = %d, want > 0", rec.MatrixBuilds)
+	}
+	if rec.MatrixBuildTime <= 0 {
+		t.Errorf("MatrixBuildTime = %v, want > 0", rec.MatrixBuildTime)
+	}
+	// The k-aware solve re-reads the same exec cells the validation pass
+	// and the matrix build already priced, so a healthy cache hits often.
+	if rec.Stats.CacheHits == 0 {
+		t.Error("cache recorded no hits on a full recommendation")
+	}
+	// The rendered report carries the instrumentation line.
+	var sb strings.Builder
+	rec.Render(&sb)
+	if !strings.Contains(sb.String(), "what-if calls") {
+		t.Errorf("Render missing instrumentation line:\n%s", sb.String())
 	}
 }

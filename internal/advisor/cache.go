@@ -1,0 +1,105 @@
+package advisor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// execCacheShards is the shard count of the what-if EXEC memo. 64
+// shards keep lock contention negligible even when every core of a
+// large machine fills the cost matrix at once, at a fixed cost of a few
+// kilobytes per model.
+const execCacheShards = 64
+
+type execShard struct {
+	mu sync.RWMutex
+	m  map[execKey]float64
+}
+
+// execCache is a sharded, mutex-guarded memo for EXEC(stage, config)
+// what-if results. It is safe for concurrent use, so one advisor
+// Problem can be solved by several strategies (or a parallel matrix
+// build) at the same time. Lookup and hit counters feed the
+// recommendation's instrumentation.
+//
+// On a miss the value is computed outside any lock and stored after;
+// two goroutines racing on the same cold key both compute it, but the
+// model is deterministic so they store the same value — wasted work,
+// never wrong answers.
+type execCache struct {
+	shards  [execCacheShards]execShard
+	lookups atomic.Int64
+	hits    atomic.Int64
+}
+
+func newExecCache() *execCache {
+	c := &execCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[execKey]float64)
+	}
+	return c
+}
+
+// shard maps a key to its shard with a Fibonacci mix so consecutive
+// stages spread instead of clustering.
+func (c *execCache) shard(k execKey) *execShard {
+	h := (uint64(k.stage) ^ uint64(k.cfg)<<32 ^ uint64(k.cfg)>>32) * 0x9E3779B97F4A7C15
+	return &c.shards[h>>(64-6)] // top 6 bits: [0, 64)
+}
+
+func (c *execCache) get(k execKey) (float64, bool) {
+	s := c.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	c.lookups.Add(1)
+	if ok {
+		c.hits.Add(1)
+	}
+	return v, ok
+}
+
+func (c *execCache) put(k execKey, v float64) {
+	s := c.shard(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// CostStats is the lightweight instrumentation of one advisor run's
+// what-if costing: how many statement costings the cost model actually
+// performed and how well the EXEC memo served the solvers.
+type CostStats struct {
+	// WhatIfCalls counts individual what-if statement costings — the
+	// unit the paper's Figure 4 discussion treats as the advisor's
+	// dominant expense.
+	WhatIfCalls int64
+	// CacheLookups and CacheHits describe the EXEC memo: every
+	// CostModel.Exec call is one lookup, served from the cache when the
+	// (stage, configuration) pair was costed before.
+	CacheLookups int64
+	CacheHits    int64
+}
+
+// HitRate returns the fraction of EXEC lookups served from the memo, 0
+// when nothing was looked up.
+func (s CostStats) HitRate() float64 {
+	if s.CacheLookups == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheLookups)
+}
+
+// add accumulates counters (used when several models back one run).
+func (s CostStats) add(o CostStats) CostStats {
+	return CostStats{
+		WhatIfCalls:  s.WhatIfCalls + o.WhatIfCalls,
+		CacheLookups: s.CacheLookups + o.CacheLookups,
+		CacheHits:    s.CacheHits + o.CacheHits,
+	}
+}
+
+// statsProvider is implemented by cost models that expose CostStats.
+type statsProvider interface {
+	costStats() CostStats
+}

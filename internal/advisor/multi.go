@@ -39,6 +39,18 @@ func (m *averagedModel) Size(c core.Config) float64 {
 	return m.models[0].Size(c)
 }
 
+// costStats implements statsProvider by summing over the per-trace
+// models (sub-models that expose no stats contribute zero).
+func (m *averagedModel) costStats() CostStats {
+	var total CostStats
+	for _, sub := range m.models {
+		if sp, ok := sub.(statsProvider); ok {
+			total = total.add(sp.costStats())
+		}
+	}
+	return total
+}
+
 // RecommendMulti recommends one design sequence for a set of
 // representative traces: the expected-cost variant of the constrained
 // problem. All traces must have the same length and segment identically;
@@ -86,7 +98,7 @@ func (a *Advisor) RecommendMulti(traces []*workload.Workload, opts Options) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return &Recommendation{
+	rec := &Recommendation{
 		Table:          a.space.Table,
 		StructureNames: a.space.StructureNames(),
 		Structures:     a.space.Structures,
@@ -96,7 +108,9 @@ func (a *Advisor) RecommendMulti(traces []*workload.Workload, opts Options) (*Re
 		Solution:       sol,
 		Strategy:       strategy,
 		Elapsed:        time.Since(start),
-	}, nil
+	}
+	rec.fillInstrumentation(&combined)
+	return rec, nil
 }
 
 // EvaluateOn computes the what-if cost of this recommendation's design

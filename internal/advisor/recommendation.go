@@ -23,6 +23,25 @@ type Recommendation struct {
 	Solution       *core.Solution
 	Strategy       core.Strategy
 	Elapsed        time.Duration
+	// Stats is the what-if costing instrumentation of the run: call
+	// count and EXEC-memo hit rate. It makes costing-layer speedups
+	// observable instead of asserted.
+	Stats CostStats
+	// MatrixBuilds and MatrixBuildTime describe the dense cost-table
+	// evaluations the solver performed; concurrent builds accumulate
+	// their individual durations.
+	MatrixBuilds    int64
+	MatrixBuildTime time.Duration
+}
+
+// fillInstrumentation copies the costing-layer counters off the solved
+// problem onto the recommendation.
+func (r *Recommendation) fillInstrumentation(p *core.Problem) {
+	if sp, ok := p.Model.(statsProvider); ok {
+		r.Stats = sp.costStats()
+	}
+	r.MatrixBuilds = p.Metrics.MatrixBuilds()
+	r.MatrixBuildTime = p.Metrics.MatrixBuildTime()
 }
 
 // PerStatement expands the per-stage designs to one configuration per
@@ -164,6 +183,9 @@ func (r *Recommendation) Render(w io.Writer) {
 		r.Problem.Stages, len(r.Problem.Configs), k, r.Problem.Policy)
 	fmt.Fprintf(w, "  estimated sequence cost: %.0f pages   changes used: %d\n",
 		r.Solution.Cost, r.Solution.Changes)
+	fmt.Fprintf(w, "  what-if calls: %d   cache hit rate: %.1f%%   matrix build: %.1f ms (%d builds)\n",
+		r.Stats.WhatIfCalls, 100*r.Stats.HitRate(),
+		float64(r.MatrixBuildTime.Microseconds())/1000, r.MatrixBuilds)
 	steps := r.Steps()
 	if len(steps) == 0 {
 		fmt.Fprintf(w, "  design: %s for the entire workload (no changes)\n",

@@ -84,7 +84,10 @@ func (c Config) Format(names []string) string {
 
 // CostModel supplies the three cost terms of the design problem. Models
 // must be deterministic: solvers may evaluate the same term repeatedly
-// and cache freely.
+// and cache freely. Models must also be safe for concurrent use: the
+// solvers evaluate cost tables from multiple goroutines (see
+// Problem.Parallelism), and one Problem may be solved by several
+// strategies at once.
 type CostModel interface {
 	// Exec returns EXEC(S_stage, c): the cost of executing stage's
 	// statement(s) under configuration c.
@@ -134,8 +137,12 @@ type Problem struct {
 	// segments).
 	Stages int
 	// Configs is the candidate configuration list the design may use.
-	// It must contain Initial (and Final when set). Solvers never
-	// invent configurations outside this list.
+	// It must contain Final when that endpoint is constrained. It need
+	// NOT contain Initial: the initial configuration only has to be a
+	// valid TRANS source, which the model guarantees — a design that
+	// never revisits C0 is perfectly well-formed (though under CountAll
+	// with K = 0 such a problem is infeasible, which the solvers
+	// report). Solvers never invent configurations outside this list.
 	Configs []Config
 	// Initial is C0, the design in place before the first stage.
 	Initial Config
@@ -149,8 +156,18 @@ type Problem struct {
 	K int
 	// Policy selects the change-counting rule.
 	Policy ChangePolicy
-	// Model supplies EXEC, TRANS, and SIZE.
+	// Model supplies EXEC, TRANS, and SIZE. It must be safe for
+	// concurrent use (see CostModel).
 	Model CostModel
+	// Parallelism bounds the worker count used for cost-table
+	// evaluation and the other data-parallel solver phases. 0 (the
+	// default) means one worker per available CPU; 1 forces the serial
+	// path. The parallel and serial paths produce bit-identical
+	// results.
+	Parallelism int
+	// Metrics, when non-nil, accumulates solver instrumentation.
+	// Copies of the Problem share the pointer and hence the counters.
+	Metrics *Metrics
 }
 
 // Solution is a dynamic physical design: one configuration per stage.
@@ -198,22 +215,15 @@ func (p *Problem) Validate() error {
 	if len(p.Configs) == 0 {
 		return fmt.Errorf("core: problem has no candidate configurations")
 	}
+	// Note that Initial deliberately does not have to appear in
+	// Configs: it only has to be a valid TRANS source, which the model
+	// guarantees (see the Configs field documentation).
 	seen := make(map[Config]bool, len(p.Configs))
-	hasInitial := false
 	for _, c := range p.Configs {
 		if seen[c] {
 			return fmt.Errorf("core: duplicate configuration %d in candidate list", c)
 		}
 		seen[c] = true
-		if c == p.Initial {
-			hasInitial = true
-		}
-	}
-	if !hasInitial {
-		// The initial configuration need not be usable at any stage,
-		// but TRANS from it must be defined — which the model gives us.
-		// Nothing to check beyond that.
-		_ = hasInitial
 	}
 	if p.Final != nil && !seen[*p.Final] {
 		return fmt.Errorf("core: final configuration not in candidate list")

@@ -97,14 +97,7 @@ func Solve(p *Problem, strategy Strategy) (*Solution, error) {
 		sol, _, err := SolveMergeFromUnconstrained(p)
 		return sol, err
 	case StrategyRanking:
-		res, err := SolveRanking(p, RankingOptions{})
-		if err != nil {
-			return nil, err
-		}
-		if res.Exhausted {
-			return nil, fmt.Errorf("core: ranking budget exhausted after %d expansions", res.Expansions)
-		}
-		return res.Solution, nil
+		return rankingSolution(p, RankingOptions{})
 	case StrategyRankAndMerge:
 		return SolveRankAndMerge(p, RankingOptions{})
 	case StrategyHybrid:

@@ -54,16 +54,21 @@ func SolveMergeOpts(p *Problem, initial *Solution, opts MergeOptions) (*Solution
 	// Without it, every penalty evaluation consults the cost model per
 	// stage of the merged segment — the cost profile the paper's
 	// O(2^m(l²−k²)) complexity assumes.
+	// Rows are independent, so they are filled by a bounded worker
+	// pool; each row is summed serially left to right, keeping the
+	// floating-point association — and hence the sums — bit-identical
+	// to the serial build.
 	var prefix [][]float64
 	if opts.MemoizeSegments {
 		prefix = make([][]float64, len(configs))
-		for ci, cfg := range configs {
+		parallelFor(p.workers(), len(configs), func(ci int) {
+			cfg := configs[ci]
 			row := make([]float64, p.Stages+1)
 			for i := 0; i < p.Stages; i++ {
 				row[i+1] = row[i] + p.Model.Exec(i, cfg)
 			}
 			prefix[ci] = row
-		}
+		})
 	}
 
 	// The design sequence as runs of equal configurations.
@@ -110,7 +115,14 @@ func SolveMergeOpts(p *Problem, initial *Solution, opts MergeOptions) (*Solution
 	for changes() > p.K {
 		if len(runs) == 1 {
 			// Only possible under CountAll with K == 0: the whole
-			// sequence must stay on the initial configuration.
+			// sequence must stay on the initial configuration — which
+			// is only feasible when that configuration is itself in
+			// the usable (space-bound-filtered) candidate set.
+			if _, ok := cfgIndex[p.Initial]; !ok {
+				return nil, steps, fmt.Errorf(
+					"core: no design with at most %d changes exists under %s: the initial configuration is outside the usable candidate set",
+					p.K, p.Policy)
+			}
 			runs[0].cfg = p.Initial
 			break
 		}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects lightweight solver instrumentation. A Metrics value
+// is shared by pointer: copying a Problem (as the solvers and the
+// experiment harness do freely) keeps accumulating into the same
+// counters, and every method is safe for concurrent use. All methods
+// tolerate a nil receiver, so instrumentation stays strictly opt-in.
+type Metrics struct {
+	matrixBuilds     atomic.Int64
+	matrixBuildNanos atomic.Int64
+}
+
+// noteMatrixBuild records one dense cost-table evaluation.
+func (m *Metrics) noteMatrixBuild(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.matrixBuilds.Add(1)
+	m.matrixBuildNanos.Add(int64(d))
+}
+
+// MatrixBuilds returns how many dense EXEC/TRANS cost tables were
+// evaluated against this problem's model.
+func (m *Metrics) MatrixBuilds() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.matrixBuilds.Load()
+}
+
+// MatrixBuildTime returns the total wall time spent evaluating dense
+// cost tables. Concurrent builds accumulate their individual durations,
+// so the sum can exceed elapsed wall time on multicore runs.
+func (m *Metrics) MatrixBuildTime() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Duration(m.matrixBuildNanos.Load())
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n), spreading the calls over
+// at most `workers` goroutines. Work is handed out through an atomic
+// counter so unevenly-priced items (what-if EXEC calls vary wildly by
+// stage) balance across workers. With workers <= 1 — or a single item —
+// it degenerates to a plain loop, so single-core runs pay no goroutine
+// overhead and remain exactly as schedulable as before.
+//
+// Determinism: fn must write only to slots owned by its index (e.g.
+// row i of a matrix). Under that discipline the output is bit-identical
+// to the serial loop regardless of scheduling, because each cell is
+// computed by the same arithmetic either way.
+//
+// A panic in any fn is re-raised on the calling goroutine after all
+// workers stop, preserving the panic semantics of the serial loop.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg        sync.WaitGroup
+		next      atomic.Int64
+		panicOnce sync.Once
+		panicked  any
+		abort     atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					abort.Store(true)
+				}
+			}()
+			for !abort.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// workers resolves the problem's parallelism degree: an explicit
+// Parallelism wins, otherwise every available CPU.
+func (p *Problem) workers() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -2,9 +2,19 @@ package core
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrRankingBudget is the typed error surfaced when shortest-path
+// ranking exhausts its expansion budget before a feasible design
+// appears. Callers that can degrade gracefully (SolveRankAndMerge)
+// check RankingResult.Exhausted instead; everything that must produce a
+// solution or fail (Solve, the advisor's Recommend) returns an error
+// wrapping this one, so callers can errors.Is on it rather than risk a
+// nil-solution dereference.
+var ErrRankingBudget = errors.New("core: ranking expansion budget exhausted before a feasible design appeared")
 
 // RankingOptions configures SolveRanking.
 type RankingOptions struct {
@@ -24,6 +34,11 @@ type RankingOptions struct {
 // DefaultRankingBudget is the default expansion budget.
 const DefaultRankingBudget = 5_000_000
 
+// parallelSweepMinConfigs is the candidate-set size from which the
+// backward cost-to-go sweep fans out per stage; below it the serial
+// loop is faster than scheduling workers.
+const parallelSweepMinConfigs = 32
+
 // RankingResult reports the outcome of SolveRanking.
 type RankingResult struct {
 	// Solution is the optimal constrained design, nil when the budget
@@ -37,6 +52,18 @@ type RankingResult struct {
 	// Exhausted is true when the budget ran out before a feasible path
 	// appeared.
 	Exhausted bool
+}
+
+// Err returns an error wrapping ErrRankingBudget when the ranking ended
+// without a solution because its expansion budget ran out, and nil
+// otherwise. Callers that cannot tolerate a nil Solution should check
+// it instead of inspecting the flags by hand.
+func (r *RankingResult) Err() error {
+	if r.Exhausted && r.Solution == nil {
+		return fmt.Errorf("%w (%d expansions, %d complete paths ranked)",
+			ErrRankingBudget, r.Expansions, r.PathsRanked)
+	}
+	return nil
 }
 
 // pathNode is one node of the path tree: a partial design sequence
@@ -100,16 +127,24 @@ func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
 
 	// Exact cost-to-go: h[i][c] is the cheapest completion after
 	// executing stage i under configs[c] (including the final
-	// transition when constrained).
+	// transition when constrained). Stages depend on each other, but
+	// within a stage every row cell is independent, so wide candidate
+	// sets are swept by a worker pool; narrow ones (the paper's 7
+	// configurations) stay on the serial loop, where goroutine overhead
+	// would dwarf the O(nc²) arithmetic.
 	h := make([][]float64, p.Stages)
 	last := make([]float64, nc)
 	if m.finalTrans != nil {
 		copy(last, m.finalTrans)
 	}
 	h[p.Stages-1] = last
+	sweepWorkers := 1
+	if nc >= parallelSweepMinConfigs {
+		sweepWorkers = p.workers()
+	}
 	for i := p.Stages - 2; i >= 0; i-- {
 		row := make([]float64, nc)
-		for c := 0; c < nc; c++ {
+		parallelFor(sweepWorkers, nc, func(c int) {
 			best := math.Inf(1)
 			for j := 0; j < nc; j++ {
 				if v := m.trans[c][j] + m.exec[i+1][j] + h[i+1][j]; v < best {
@@ -117,7 +152,7 @@ func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
 				}
 			}
 			row[c] = best
-		}
+		})
 		h[i] = row
 	}
 
@@ -171,6 +206,20 @@ func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
 		}
 	}
 	return nil, fmt.Errorf("core: ranking exhausted the path space without a feasible design (K=%d)", p.K)
+}
+
+// rankingSolution runs SolveRanking and requires a solution: budget
+// exhaustion becomes a typed error (ErrRankingBudget) instead of a nil
+// solution. Solve's StrategyRanking branch is this.
+func rankingSolution(p *Problem, opts RankingOptions) (*Solution, error) {
+	res, err := SolveRanking(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	return res.Solution, nil
 }
 
 // SolveRankAndMerge combines the two techniques the way §5 suggests:

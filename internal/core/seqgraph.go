@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // changeEpsilon is a tie-breaking perturbation added to every
@@ -24,19 +25,25 @@ type matrices struct {
 }
 
 // buildMatrices evaluates the cost model into dense tables over the
-// given configuration list.
+// given configuration list. The EXEC table (one what-if costing per
+// stage × configuration — the advisor's dominant expense) is filled by
+// a bounded worker pool, as is the TRANS table; each worker owns whole
+// rows, so the result is bit-identical to the serial evaluation.
 func (p *Problem) buildMatrices(configs []Config) *matrices {
+	start := time.Now()
+	workers := p.workers()
 	m := &matrices{configs: configs}
 	m.exec = make([][]float64, p.Stages)
-	for i := 0; i < p.Stages; i++ {
+	parallelFor(workers, p.Stages, func(i int) {
 		row := make([]float64, len(configs))
 		for j, c := range configs {
 			row[j] = p.Model.Exec(i, c)
 		}
 		m.exec[i] = row
-	}
+	})
 	m.trans = make([][]float64, len(configs))
-	for i, from := range configs {
+	parallelFor(workers, len(configs), func(i int) {
+		from := configs[i]
 		row := make([]float64, len(configs))
 		for j, to := range configs {
 			if i == j {
@@ -46,7 +53,7 @@ func (p *Problem) buildMatrices(configs []Config) *matrices {
 			row[j] = p.Model.Trans(from, to) + changeEpsilon
 		}
 		m.trans[i] = row
-	}
+	})
 	m.initTrans = make([]float64, len(configs))
 	for j, c := range configs {
 		if c == p.Initial {
@@ -66,7 +73,25 @@ func (p *Problem) buildMatrices(configs []Config) *matrices {
 			m.finalTrans[j] = p.Model.Trans(c, *p.Final) + changeEpsilon/2
 		}
 	}
+	p.Metrics.noteMatrixBuild(time.Since(start))
 	return m
+}
+
+// BuildCostTables forces one full evaluation of the dense EXEC/TRANS
+// cost tables over the usable candidate configurations — the
+// preprocessing every graph solver performs implicitly. It is exposed
+// so benchmarks and diagnostics can measure the costing layer in
+// isolation; regular callers just Solve.
+func (p *Problem) BuildCostTables() error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	configs, err := p.usableConfigs()
+	if err != nil {
+		return err
+	}
+	p.buildMatrices(configs)
+	return nil
 }
 
 // SolveUnconstrained finds the optimal dynamic physical design with no

@@ -31,15 +31,24 @@ func RunQualityVsK(t2 *Table2Result) (*QualityVsK, error) {
 		return nil, err
 	}
 	res := &QualityVsK{Unconstrained: unc.Cost, L: unc.Changes}
-	for k := 0; k <= unc.Changes; k++ {
+	// The per-k solves are independent cells sharing one cached what-if
+	// model (warmed by the unconstrained solve above), so they fan out
+	// across cores; slot k of each slice belongs to cell k.
+	res.Ks = make([]int, unc.Changes+1)
+	res.RelativeCost = make([]float64, unc.Changes+1)
+	err = fanOut(unc.Changes+1, func(k int) error {
 		pk := *base
 		pk.K = k
 		sol, err := core.SolveKAware(&pk)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Ks = append(res.Ks, k)
-		res.RelativeCost = append(res.RelativeCost, sol.Cost/unc.Cost)
+		res.Ks[k] = k
+		res.RelativeCost[k] = sol.Cost / unc.Cost
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -77,28 +86,42 @@ func RunRankingAblation(t2 *Table2Result, ks []int, budget int) (*RankingAblatio
 	if _, err := core.SolveUnconstrained(base); err != nil { // warm the memo
 		return nil, err
 	}
-	res := &RankingAblation{Ks: ks}
-	for _, k := range ks {
+	res := &RankingAblation{
+		Ks:          ks,
+		PlainExpand: make([]int, len(ks)), PrunedExpand: make([]int, len(ks)),
+		PlainTime: make([]time.Duration, len(ks)), PrunedTime: make([]time.Duration, len(ks)),
+		Exhausted: make([]bool, len(ks)), PrunedOut: make([]bool, len(ks)),
+	}
+	// Per-k cells fan out against the shared warmed model. Expansion
+	// counts are scheduling-independent; the per-cell wall times are
+	// indicative under contention (the experiment's primary output is
+	// the expansion count, which the paper's "quite bad" prediction is
+	// about).
+	err = fanOut(len(ks), func(i int) error {
 		pk := *base
-		pk.K = k
+		pk.K = ks[i]
 
 		start := time.Now()
 		plain, err := core.SolveRanking(&pk, core.RankingOptions{MaxExpansions: budget})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.PlainTime = append(res.PlainTime, time.Since(start))
-		res.PlainExpand = append(res.PlainExpand, plain.Expansions)
-		res.Exhausted = append(res.Exhausted, plain.Exhausted)
+		res.PlainTime[i] = time.Since(start)
+		res.PlainExpand[i] = plain.Expansions
+		res.Exhausted[i] = plain.Exhausted
 
 		start = time.Now()
 		pruned, err := core.SolveRanking(&pk, core.RankingOptions{MaxExpansions: budget, Prune: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.PrunedTime = append(res.PrunedTime, time.Since(start))
-		res.PrunedExpand = append(res.PrunedExpand, pruned.Expansions)
-		res.PrunedOut = append(res.PrunedOut, pruned.Exhausted)
+		res.PrunedTime[i] = time.Since(start)
+		res.PrunedExpand[i] = pruned.Expansions
+		res.PrunedOut[i] = pruned.Exhausted
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -146,8 +169,21 @@ func RunStrategyComparison(t2 *Table2Result, k int) (*StrategyComparison, error)
 	}); err != nil { // warm the memo
 		return nil, err
 	}
-	res := &StrategyComparison{K: k}
-	for _, s := range core.Strategies() {
+	// Every strategy solves the same shared problem concurrently — the
+	// sharded what-if memo makes that safe, and it is exactly the
+	// "several strategies on one cached model" scenario the costing
+	// layer is built for. Costs and changes are scheduling-independent;
+	// wall times are indicative under contention.
+	strategies := core.Strategies()
+	res := &StrategyComparison{
+		K:       k,
+		Names:   make([]string, len(strategies)),
+		Costs:   make([]float64, len(strategies)),
+		Changes: make([]int, len(strategies)),
+		Times:   make([]time.Duration, len(strategies)),
+	}
+	err = fanOut(len(strategies), func(i int) error {
+		s := strategies[i]
 		start := time.Now()
 		var sol *core.Solution
 		var err error
@@ -164,19 +200,25 @@ func RunStrategyComparison(t2 *Table2Result, k int) (*StrategyComparison, error)
 			sol, err = core.Solve(base, s)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("experiments: strategy %s: %w", s, err)
+			return fmt.Errorf("experiments: strategy %s: %w", s, err)
 		}
-		res.Names = append(res.Names, string(s))
+		res.Names[i] = string(s)
 		if sol == nil {
-			res.Costs = append(res.Costs, 0)
-			res.Changes = append(res.Changes, -1)
+			res.Costs[i] = 0
+			res.Changes[i] = -1
 		} else {
-			res.Costs = append(res.Costs, sol.Cost)
-			res.Changes = append(res.Changes, sol.Changes)
+			res.Costs[i] = sol.Cost
+			res.Changes[i] = sol.Changes
 		}
-		res.Times = append(res.Times, time.Since(start))
-		if s == core.StrategyKAware && sol != nil {
-			res.Optimal = sol.Cost
+		res.Times[i] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range strategies {
+		if s == core.StrategyKAware && res.Changes[i] >= 0 {
+			res.Optimal = res.Costs[i]
 		}
 	}
 	return res, nil
@@ -210,29 +252,39 @@ type PolicyAblation struct {
 
 // RunPolicyAblation computes both policies' optima across k.
 func RunPolicyAblation(t2 *Table2Result, ks []int) (*PolicyAblation, error) {
-	res := &PolicyAblation{Ks: ks}
-	for _, k := range ks {
-		opts := PaperOptions(k)
+	res := &PolicyAblation{
+		Ks:       ks,
+		FreeCost: make([]float64, len(ks)), StrictCost: make([]float64, len(ks)),
+		FreeChanges: make([]int, len(ks)),
+	}
+	// (k × policy) cells are independent; both policies of one k share
+	// a cell so the fan-out stays coarse-grained.
+	err := fanOut(len(ks), func(i int) error {
+		opts := PaperOptions(ks[i])
 		pFree, _, err := t2.Advisor.Problem(t2.W1, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		solFree, err := core.SolveKAware(pFree)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opts.Policy = core.CountAll
 		pStrict, _, err := t2.Advisor.Problem(t2.W1, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		solStrict, err := core.SolveKAware(pStrict)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.FreeCost = append(res.FreeCost, solFree.Cost)
-		res.StrictCost = append(res.StrictCost, solStrict.Cost)
-		res.FreeChanges = append(res.FreeChanges, solFree.Changes)
+		res.FreeCost[i] = solFree.Cost
+		res.StrictCost[i] = solStrict.Cost
+		res.FreeChanges[i] = solFree.Changes
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// fanOut runs fn(i) for every i in [0, n) on up to GOMAXPROCS
+// goroutines — the harness's cell-level parallelism for independent
+// (strategy × workload × k) experiment cells. Each fn must write its
+// results only to index-distinct slots, so output order is
+// deterministic regardless of scheduling. The first error (or a
+// panic, converted to an error) aborts the remaining cells and is
+// returned. With one CPU it degenerates to a plain serial loop, which
+// keeps timing-sensitive cells undistorted on small machines.
+func fanOut(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		abort    atomic.Bool
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		abort.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !abort.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runCell(i, fn); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runCell invokes one cell, converting a panic into an error so a
+// failing cell cannot crash sibling goroutines' process.
+func runCell(i int, fn func(int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: cell %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

@@ -55,30 +55,37 @@ func RunTable2(s Scale) (*Table2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	w1, err := workload.PaperWorkload("W1", s.Rows, s.BlockSize, s.Seed+100)
+	// The three workload generators are independent cells; each writes
+	// its own slot.
+	wnames := []string{"W1", "W2", "W3"}
+	ws := make([]*workload.Workload, len(wnames))
+	err = fanOut(len(wnames), func(i int) error {
+		w, err := workload.PaperWorkload(wnames[i], s.Rows, s.BlockSize, s.Seed+100*int64(i+1))
+		ws[i] = w
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	w2, err := workload.PaperWorkload("W2", s.Rows, s.BlockSize, s.Seed+200)
-	if err != nil {
-		return nil, err
-	}
-	w3, err := workload.PaperWorkload("W3", s.Rows, s.BlockSize, s.Seed+300)
-	if err != nil {
-		return nil, err
-	}
+	w1, w2, w3 := ws[0], ws[1], ws[2]
 	adv, err := advisor.New(db, PaperSpace())
 	if err != nil {
 		return nil, err
 	}
-	unc, err := adv.Recommend(w1, PaperOptions(core.Unconstrained))
+	// The unconstrained and the k=2 recommendation are independent
+	// solver cells over the same advisor (its physical descriptions are
+	// read-only), so they run concurrently too.
+	recKs := []int{core.Unconstrained, 2}
+	recs := make([]*advisor.Recommendation, len(recKs))
+	err = fanOut(len(recKs), func(i int) error {
+		rec, err := adv.Recommend(w1, PaperOptions(recKs[i]))
+		recs[i] = rec
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	con, err := adv.Recommend(w1, PaperOptions(2))
-	if err != nil {
-		return nil, err
-	}
+	unc, con := recs[0], recs[1]
 
 	res := &Table2Result{
 		Scale: s, DB: db, Advisor: adv,
