@@ -9,6 +9,7 @@
 package dyndesign_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -17,6 +18,9 @@ import (
 	"dyndesign/internal/experiments"
 	"dyndesign/internal/workload"
 )
+
+// bg is the context used by tests that don't exercise cancellation.
+var bg = context.Background()
 
 var (
 	fixtureOnce sync.Once
@@ -31,7 +35,7 @@ var benchScale = experiments.Scale{Rows: 50000, BlockSize: 100, Seed: 1}
 func getFixture(b *testing.B) *experiments.Table2Result {
 	b.Helper()
 	fixtureOnce.Do(func() {
-		fixture, fixtureErr = experiments.RunTable2(benchScale)
+		fixture, fixtureErr = experiments.RunTable2(bg, benchScale)
 	})
 	if fixtureErr != nil {
 		b.Fatal(fixtureErr)
@@ -48,7 +52,7 @@ func warmProblem(b *testing.B, k int) *core.Problem {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := core.SolveUnconstrained(p); err != nil {
+	if _, err := core.SolveUnconstrained(bg, p); err != nil {
 		b.Fatal(err)
 	}
 	p.K = k
@@ -145,7 +149,7 @@ func BenchmarkFigure4KAware(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SolveKAware(p); err != nil {
+				if _, err := core.SolveKAware(bg, p); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -164,11 +168,11 @@ func BenchmarkFigure4Merging(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				seed, err := core.SolveUnconstrained(p)
+				seed, err := core.SolveUnconstrained(bg, p)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := core.SolveMergeOpts(p, seed, core.MergeOptions{}); err != nil {
+				if _, _, err := core.SolveMergeOpts(bg, p, seed, core.MergeOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -182,7 +186,7 @@ func BenchmarkFigure4Unconstrained(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SolveUnconstrained(p); err != nil {
+		if _, err := core.SolveUnconstrained(bg, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -197,7 +201,7 @@ func BenchmarkAblationGreedySeq(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.SolveGreedySeq(p); err != nil {
+		if _, _, err := core.SolveGreedySeq(bg, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,11 +215,11 @@ func BenchmarkAblationMergeMemoized(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		seed, err := core.SolveUnconstrained(p)
+		seed, err := core.SolveUnconstrained(bg, p)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := core.SolveMergeOpts(p, seed, core.MergeOptions{MemoizeSegments: true}); err != nil {
+		if _, _, err := core.SolveMergeOpts(bg, p, seed, core.MergeOptions{MemoizeSegments: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -230,7 +234,7 @@ func BenchmarkAblationRankingPruned(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.SolveRanking(p, core.RankingOptions{Prune: true, MaxExpansions: 10_000_000})
+		res, err := core.SolveRanking(bg, p, core.RankingOptions{Prune: true, MaxExpansions: 10_000_000})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,7 +253,7 @@ func BenchmarkAblationHybrid(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.SolveHybrid(p); err != nil {
+				if _, _, err := core.SolveHybrid(bg, p); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -275,7 +279,7 @@ func benchMatrixBuild(b *testing.B, parallelism int) {
 			b.Fatal(err)
 		}
 		p.Parallelism = parallelism
-		if err := p.BuildCostTables(); err != nil {
+		if err := p.BuildCostTables(bg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -321,7 +325,7 @@ func BenchmarkAblationWhatIfCosting(b *testing.B) {
 			b.Fatal(err)
 		}
 		// Force a cold matrix evaluation.
-		if _, err := core.SolveUnconstrained(p); err != nil {
+		if _, err := core.SolveUnconstrained(bg, p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,14 @@
 //	dyndesign -setup schema.sql -trace w1.json -k 2
 //	dyndesign -paper-rows 100000 -trace w1.json -k 2 -strategy hybrid
 //	dyndesign -paper-rows 100000 -trace w1.json -k unconstrained -candidates auto
+//	dyndesign -paper-rows 100000 -trace w1.json -k 2 -timeout 5s -fallback
+//
+// -timeout bounds each solver attempt, -max-whatif bounds its what-if
+// evaluations, and -fallback enables the degradation ladder: when the
+// requested strategy fails (deadline, budget, fault, panic) the advisor
+// falls back to cheaper strategies instead of failing the run. SIGINT
+// or SIGTERM cancels the solve; an interrupted run still prints the
+// partial robustness diagnostics.
 //
 // The setup script is a sequence of SQL statements (one per line or
 // separated by semicolons at line ends; "--" comments allowed) that
@@ -15,10 +23,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"dyndesign/internal/advisor"
 	"dyndesign/internal/candidates"
@@ -29,13 +41,21 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the context; solvers notice at their next
+	// cooperative cancellation point and the run exits with partial
+	// diagnostics instead of being killed mid-solve.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "dyndesign: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	setup := flag.String("setup", "", "SQL script creating and filling the database")
 	paperRows := flag.Int64("paper-rows", 0, "instead of -setup, build the paper's table with this many rows")
 	tracePath := flag.String("trace", "", "workload trace JSON (from workloadgen); - for stdin")
@@ -48,6 +68,9 @@ func run() error {
 	candMode := flag.String("candidates", "paper", "candidate structures: 'paper' or 'auto' (derived from the trace)")
 	finalEmpty := flag.Bool("final-empty", true, "constrain the final configuration to be empty")
 	timeline := flag.Int("timeline", 0, "also print the design timeline with this block size (-1 for auto)")
+	timeout := flag.Duration("timeout", 0, "deadline per solver attempt (0 = none)")
+	maxWhatIf := flag.Int64("max-whatif", 0, "what-if evaluation budget per solver attempt (0 = unbounded)")
+	fallback := flag.Bool("fallback", false, "degrade to cheaper strategies when the requested one fails")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -149,14 +172,26 @@ func run() error {
 		f := core.Config(0)
 		opts.Final = &f
 	}
+	opts.Timeout = *timeout
+	opts.MaxWhatIfCalls = *maxWhatIf
+	opts.Fallback = *fallback
 
 	adv, err := advisor.New(db, spaceDef)
 	if err != nil {
 		return err
 	}
-	rec, err := adv.Recommend(w, opts)
+	rec, err := adv.RecommendContext(ctx, w, opts)
 	if err != nil {
+		// An interrupted or failed solve still carries its robustness
+		// ledger: print which rungs ran and why they failed.
+		if rec != nil {
+			rec.RenderRobustness(os.Stderr)
+		}
 		return err
+	}
+	if rec.Degraded {
+		fmt.Fprintf(os.Stderr, "dyndesign: strategy %s did not answer; degraded to rung %s\n",
+			rec.Strategy, rec.Rung)
 	}
 	rec.Render(os.Stdout)
 	if *timeline != 0 {

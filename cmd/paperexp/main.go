@@ -9,15 +9,26 @@
 //	paperexp -exp all                      # everything at default scale
 //	paperexp -exp table2 -rows 2500000 -block 500   # paper scale
 //	paperexp -exp fig4 -ks 2,4,6,8,10,12,14,16,18
+//	paperexp -exp table2 -timeout 30s -fallback     # bounded, degradable solves
+//
+// -timeout, -max-whatif, and -fallback bound every advisor solve the
+// harness makes (per-attempt deadline, what-if evaluation budget, and
+// the degradation ladder). SIGINT or SIGTERM cancels the run at the
+// next solver cancellation point; partial robustness diagnostics are
+// printed for the interrupted solve.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"dyndesign/internal/advisor"
 	"dyndesign/internal/experiments"
@@ -31,7 +42,29 @@ func main() {
 	ksFlag := flag.String("ks", "2,4,6,8,10,12,14,16,18", "comma-separated k values for fig4")
 	format := flag.String("format", "text", "output format: text or json")
 	workers := flag.Int("workers", 0, "worker count for parallel what-if costing and experiment fan-out (0 = all cores, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "deadline per solver attempt (0 = none)")
+	maxWhatIf := flag.Int64("max-whatif", 0, "what-if evaluation budget per solver attempt (0 = unbounded)")
+	fallback := flag.Bool("fallback", false, "degrade to cheaper strategies when a solver attempt fails")
 	flag.Parse()
+	experiments.SetRobustness(experiments.Robustness{
+		Timeout:        *timeout,
+		MaxWhatIfCalls: *maxWhatIf,
+		Fallback:       *fallback,
+	})
+
+	// SIGINT/SIGTERM cancel the context; every experiment checks it at
+	// cell boundaries and inside the solvers, so an interrupt exits
+	// cleanly with partial diagnostics instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "paperexp: interrupted — results above are partial\n")
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
 	}
@@ -70,15 +103,18 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "building %d-row table and solving designs (this is the expensive part)...\n", scale.Rows)
-	t2, err := experiments.RunTable2(scale)
+	t2, err := experiments.RunTable2(ctx, scale)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	costingSummary := func(name string, rec *advisor.Recommendation) {
 		fmt.Fprintf(os.Stderr, "  %s costing: %d what-if calls, %.1f%% cache hit rate, %.1f ms matrix build\n",
 			name, rec.Stats.WhatIfCalls, 100*rec.Stats.HitRate(),
 			float64(rec.MatrixBuildTime.Microseconds())/1000)
+		if rec.Degraded {
+			fmt.Fprintf(os.Stderr, "  %s solve degraded to rung %s\n", name, rec.Rung)
+		}
+		rec.RenderRobustness(os.Stderr)
 	}
 	costingSummary("unconstrained", t2.Unconstrained)
 	costingSummary("k=2", t2.Constrained)
@@ -92,10 +128,9 @@ func main() {
 	}
 	if run("fig3") {
 		fmt.Fprintf(os.Stderr, "replaying 6 workload/design combinations...\n")
-		f3, err := experiments.RunFigure3(t2)
+		f3, err := experiments.RunFigure3(ctx, t2)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if asJSON {
 			report.Figure3 = f3
@@ -119,10 +154,9 @@ func main() {
 			ks = append(ks, k)
 		}
 		fmt.Fprintf(os.Stderr, "timing optimizers for k = %v...\n", ks)
-		f4, err := experiments.RunFigure4(t2, ks)
+		f4, err := experiments.RunFigure4(ctx, t2, ks)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if asJSON {
 			report.Figure4 = f4
@@ -133,11 +167,7 @@ func main() {
 	}
 	if run("ablations") {
 		fmt.Fprintf(os.Stderr, "running ablations...\n")
-		fail := func(err error) {
-			fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
-			os.Exit(1)
-		}
-		quality, err := experiments.RunQualityVsK(t2)
+		quality, err := experiments.RunQualityVsK(ctx, t2)
 		if err != nil {
 			fail(err)
 		}
@@ -147,7 +177,7 @@ func main() {
 			quality.Render(os.Stdout)
 			fmt.Println()
 		}
-		strat, err := experiments.RunStrategyComparison(t2, 2)
+		strat, err := experiments.RunStrategyComparison(ctx, t2, 2)
 		if err != nil {
 			fail(err)
 		}
@@ -155,7 +185,7 @@ func main() {
 			strat.Render(os.Stdout)
 			fmt.Println()
 		}
-		ranking, err := experiments.RunRankingAblation(t2, []int{2, 4, 8, 12}, 2_000_000)
+		ranking, err := experiments.RunRankingAblation(ctx, t2, []int{2, 4, 8, 12}, 2_000_000)
 		if err != nil {
 			fail(err)
 		}
@@ -163,7 +193,7 @@ func main() {
 			ranking.Render(os.Stdout)
 			fmt.Println()
 		}
-		policy, err := experiments.RunPolicyAblation(t2, []int{0, 1, 2, 4, 8})
+		policy, err := experiments.RunPolicyAblation(ctx, t2, []int{0, 1, 2, 4, 8})
 		if err != nil {
 			fail(err)
 		}
@@ -171,7 +201,7 @@ func main() {
 			policy.Render(os.Stdout)
 			fmt.Println()
 		}
-		writeLoad, err := experiments.RunWriteLoad(scale)
+		writeLoad, err := experiments.RunWriteLoad(ctx, scale)
 		if err != nil {
 			fail(err)
 		}
@@ -181,7 +211,7 @@ func main() {
 			writeLoad.Render(os.Stdout)
 			fmt.Println()
 		}
-		estimate, err := experiments.RunEstimateVsMeasured(t2, []int{0, 2, 8, 14})
+		estimate, err := experiments.RunEstimateVsMeasured(ctx, t2, []int{0, 2, 8, 14})
 		if err != nil {
 			fail(err)
 		}

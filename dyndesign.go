@@ -41,6 +41,7 @@
 package dyndesign
 
 import (
+	"context"
 	"io"
 
 	"dyndesign/internal/advisor"
@@ -187,7 +188,48 @@ func Strategies() []Strategy { return core.Strategies() }
 
 // Solve runs a strategy on a problem directly (advanced use; most
 // callers go through an Advisor).
-func Solve(p *Problem, s Strategy) (*Solution, error) { return core.Solve(p, s) }
+func Solve(p *Problem, s Strategy) (*Solution, error) {
+	return core.Solve(context.Background(), p, s)
+}
+
+// SolveContext is Solve with cooperative cancellation: the solve
+// returns promptly with ctx's error when the context is cancelled or
+// its deadline passes.
+func SolveContext(ctx context.Context, p *Problem, s Strategy) (*Solution, error) {
+	return core.Solve(ctx, p, s)
+}
+
+// --- Resilient solving ----------------------------------------------------
+
+// ResilientOptions configures SolveResilient: the strategy ladder,
+// per-rung deadline, what-if evaluation budget, and the last-known-good
+// design adopted when every rung fails.
+type ResilientOptions = core.ResilientOptions
+
+// ResilientResult reports which ladder rung answered and why the rungs
+// above it failed.
+type ResilientResult = core.ResilientResult
+
+// RungReport describes one attempted ladder rung.
+type RungReport = core.RungReport
+
+// FailureClass classifies why a ladder rung failed.
+type FailureClass = core.FailureClass
+
+// RungLastKnownGood marks a result answered by adopting the
+// last-known-good design after every solver rung failed.
+const RungLastKnownGood = core.RungLastKnownGood
+
+// DefaultLadder is the standard degradation ladder for a primary
+// strategy: the strategy itself, then cheaper fallbacks.
+func DefaultLadder(primary Strategy) []Strategy { return core.DefaultLadder(primary) }
+
+// SolveResilient runs the degradation ladder under per-rung deadlines
+// and what-if budgets, recovering panics into typed errors. It returns
+// a valid feasible solution or a typed error — never hangs or crashes.
+func SolveResilient(ctx context.Context, p *Problem, opts ResilientOptions) (*ResilientResult, error) {
+	return core.SolveResilient(ctx, p, opts)
+}
 
 // --- Advisor --------------------------------------------------------------
 

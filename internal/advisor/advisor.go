@@ -10,7 +10,10 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,6 +83,31 @@ type Options struct {
 	// Final optionally constrains the configuration after the last
 	// statement (the paper's experiments pin it to empty).
 	Final *core.Config
+
+	// Timeout, when positive, bounds the wall-clock time of each solve
+	// attempt (each ladder rung when Fallback is on, the single solve
+	// otherwise).
+	Timeout time.Duration
+	// MaxWhatIfCalls, when positive, bounds the EXEC evaluations each
+	// solve attempt may request; exceeding it aborts the attempt with
+	// core.ErrWhatIfBudget.
+	MaxWhatIfCalls int64
+	// Fallback enables the resilient degradation ladder: when the
+	// chosen strategy times out, exhausts its budget, faults, or
+	// panics, progressively cheaper strategies answer instead
+	// (core.DefaultLadder), ending at LastKnownGood when set.
+	Fallback bool
+	// LastKnownGood optionally supplies a previously recommended design
+	// sequence adopted (after revalidation) when every solving rung
+	// fails. Only consulted when Fallback is on.
+	LastKnownGood *core.Solution
+}
+
+// resilient reports whether the options ask for the supervised solve
+// path: any robustness knob turns it on, since budgets and deadlines
+// are enforced by the supervisor.
+func (o *Options) resilient() bool {
+	return o.Fallback || o.Timeout > 0 || o.MaxWhatIfCalls > 0
 }
 
 // Advisor recommends dynamic physical designs for one table of a
@@ -142,11 +170,11 @@ type execKey struct {
 	cfg   core.Config
 }
 
-// whatIfModel implements core.CostModel over the engine's what-if cost
-// functions. It is safe for concurrent use: the EXEC memo is a sharded,
-// mutex-guarded cache, TRANS and SIZE are pure functions of immutable
-// physical descriptions, and the call counter is atomic — so one
-// Problem can be shared by several solver goroutines and by the
+// whatIfModel implements core.FallibleModel over the engine's what-if
+// cost functions. It is safe for concurrent use: the EXEC memo is a
+// sharded, mutex-guarded cache, TRANS and SIZE are pure functions of
+// immutable physical descriptions, and the call counter is atomic — so
+// one Problem can be shared by several solver goroutines and by the
 // parallel matrix build.
 type whatIfModel struct {
 	table cost.TablePhys
@@ -156,6 +184,10 @@ type whatIfModel struct {
 	// whatIfCalls counts individual statement costings (not memo
 	// lookups); see CostStats.
 	whatIfCalls atomic.Int64
+	// errMu guards execErr, the first costing failure since the last
+	// TakeErr drain (the core.FallibleModel contract).
+	errMu   sync.Mutex
+	execErr error
 }
 
 func (m *whatIfModel) physFor(c core.Config) []cost.IndexPhys {
@@ -168,7 +200,10 @@ func (m *whatIfModel) physFor(c core.Config) []cost.IndexPhys {
 
 // Exec implements core.CostModel: the summed what-if cost of the
 // segment's statements under configuration c. Statements are validated
-// when the problem is built, so a cost error here is a bug.
+// when the problem is built, so a cost error here means the model's
+// world changed mid-solve; the failure is recorded for TakeErr, the
+// evaluation returns +Inf, and nothing is memoized so a healthy retry
+// can recompute the cell.
 func (m *whatIfModel) Exec(stage int, c core.Config) float64 {
 	key := execKey{stage: stage, cfg: c}
 	if v, ok := m.memo.get(key); ok {
@@ -179,13 +214,33 @@ func (m *whatIfModel) Exec(stage int, c core.Config) float64 {
 	for _, s := range m.segs[stage].Statements {
 		v, err := cost.StatementCost(s.Stmt, m.table, idxs)
 		if err != nil {
-			panic(fmt.Sprintf("advisor: costing validated statement %q: %v", s.SQL, err))
+			m.recordErr(fmt.Errorf("advisor: costing validated statement %q: %w", s.SQL, err))
+			return math.Inf(1)
 		}
 		total += v
 	}
 	m.whatIfCalls.Add(int64(len(m.segs[stage].Statements)))
 	m.memo.put(key, total)
 	return total
+}
+
+// recordErr keeps the first costing failure for TakeErr.
+func (m *whatIfModel) recordErr(err error) {
+	m.errMu.Lock()
+	if m.execErr == nil {
+		m.execErr = err
+	}
+	m.errMu.Unlock()
+}
+
+// TakeErr implements core.FallibleModel: it returns the first costing
+// failure since the previous drain and clears it.
+func (m *whatIfModel) TakeErr() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	err := m.execErr
+	m.execErr = nil
+	return err
 }
 
 // costStats implements statsProvider.
@@ -274,8 +329,23 @@ func (a *Advisor) Problem(w *workload.Workload, opts Options) (*core.Problem, []
 }
 
 // Recommend solves the constrained dynamic design problem for the
-// workload and packages the result.
+// workload and packages the result. It is RecommendContext under
+// context.Background().
 func (a *Advisor) Recommend(w *workload.Workload, opts Options) (*Recommendation, error) {
+	return a.RecommendContext(context.Background(), w, opts)
+}
+
+// RecommendContext is Recommend with cooperative cancellation: the
+// solve stops promptly when ctx is cancelled or its deadline expires.
+// When the options ask for robustness (Timeout, MaxWhatIfCalls, or
+// Fallback), the solve runs under the resilient supervisor and the
+// recommendation records which ladder rung answered.
+//
+// On failure the returned recommendation is non-nil whenever a problem
+// was built: it carries the problem, the costing instrumentation, and
+// any rung reports gathered before the failure (its Solution is nil),
+// so an interrupted run can still render partial diagnostics.
+func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload, opts Options) (*Recommendation, error) {
 	p, segs, err := a.Problem(w, opts)
 	if err != nil {
 		return nil, err
@@ -284,11 +354,6 @@ func (a *Advisor) Recommend(w *workload.Workload, opts Options) (*Recommendation
 	if strategy == "" {
 		strategy = core.StrategyKAware
 	}
-	start := time.Now()
-	sol, err := core.Solve(p, strategy)
-	if err != nil {
-		return nil, err
-	}
 	rec := &Recommendation{
 		Table:          a.space.Table,
 		StructureNames: a.space.StructureNames(),
@@ -296,12 +361,64 @@ func (a *Advisor) Recommend(w *workload.Workload, opts Options) (*Recommendation
 		Segments:       segs,
 		Workload:       w,
 		Problem:        p,
-		Solution:       sol,
 		Strategy:       strategy,
-		Elapsed:        time.Since(start),
 	}
+	start := time.Now()
+	sol, err := a.solveProblem(ctx, p, strategy, opts, rec)
+	rec.Elapsed = time.Since(start)
 	rec.fillInstrumentation(p)
+	if err != nil {
+		return rec, err
+	}
+	rec.Solution = sol
 	return rec, nil
+}
+
+// solveProblem runs the plain or supervised solve path per the options,
+// annotating rec with rung diagnostics on the supervised path.
+func (a *Advisor) solveProblem(ctx context.Context, p *core.Problem, strategy core.Strategy, opts Options, rec *Recommendation) (*core.Solution, error) {
+	if opts.resilient() {
+		ladder := []core.Strategy{strategy}
+		if opts.Fallback {
+			ladder = core.DefaultLadder(strategy)
+		}
+		ropts := core.ResilientOptions{
+			Ladder:         ladder,
+			RungTimeout:    opts.Timeout,
+			MaxWhatIfCalls: opts.MaxWhatIfCalls,
+		}
+		if opts.Fallback {
+			ropts.LastKnownGood = opts.LastKnownGood
+		}
+		res, err := core.SolveResilient(ctx, p, ropts)
+		if res != nil {
+			rec.RungReports = res.Reports
+			rec.Rung = res.Rung
+			rec.Degraded = res.Degraded
+		}
+		if err != nil {
+			return nil, err
+		}
+		return res.Solution, nil
+	}
+	sol, err := core.Solve(ctx, p, strategy)
+	if ferr := takeModelErr(p.Model); ferr != nil && err == nil {
+		sol, err = nil, ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	rec.Rung = strategy
+	return sol, nil
+}
+
+// takeModelErr drains the model's recorded costing failure when it is
+// fallible.
+func takeModelErr(m core.CostModel) error {
+	if fm, ok := m.(core.FallibleModel); ok {
+		return fm.TakeErr()
+	}
+	return nil
 }
 
 // RecommendStatic recommends the best single static design for the whole

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -14,6 +15,9 @@ import (
 	"dyndesign/internal/engine"
 	"dyndesign/internal/workload"
 )
+
+// bg is the context used by tests that don't exercise cancellation.
+var bg = context.Background()
 
 const (
 	testRows  = 30000
@@ -529,7 +533,7 @@ func TestSharedProblemConcurrentStrategies(t *testing.T) {
 	}
 	want := map[core.Strategy]float64{}
 	for _, s := range strategies {
-		sol, err := core.Solve(p, s)
+		sol, err := core.Solve(bg, p, s)
 		if err != nil {
 			t.Fatalf("strategy %s (serial): %v", s, err)
 		}
@@ -544,7 +548,7 @@ func TestSharedProblemConcurrentStrategies(t *testing.T) {
 			wg.Add(1)
 			go func(s core.Strategy) {
 				defer wg.Done()
-				sol, err := core.Solve(p, s)
+				sol, err := core.Solve(bg, p, s)
 				if err != nil {
 					errs <- fmt.Errorf("strategy %s: %w", s, err)
 					return

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,18 @@ func (m *averagedModel) Size(c core.Config) float64 {
 	return m.models[0].Size(c)
 }
 
+// TakeErr implements core.FallibleModel: the first failure recorded by
+// any fallible sub-model (all are drained).
+func (m *averagedModel) TakeErr() error {
+	var first error
+	for _, sub := range m.models {
+		if err := takeModelErr(sub); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // costStats implements statsProvider by summing over the per-trace
 // models (sub-models that expose no stats contribute zero).
 func (m *averagedModel) costStats() CostStats {
@@ -59,11 +72,17 @@ func (m *averagedModel) costStats() CostStats {
 // structure and rendering); its Solution.Cost is the mean cost across
 // traces.
 func (a *Advisor) RecommendMulti(traces []*workload.Workload, opts Options) (*Recommendation, error) {
+	return a.RecommendMultiContext(context.Background(), traces, opts)
+}
+
+// RecommendMultiContext is RecommendMulti with cooperative
+// cancellation.
+func (a *Advisor) RecommendMultiContext(ctx context.Context, traces []*workload.Workload, opts Options) (*Recommendation, error) {
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("advisor: no traces given")
 	}
 	if len(traces) == 1 {
-		return a.Recommend(traces[0], opts)
+		return a.RecommendContext(ctx, traces[0], opts)
 	}
 	first, segs, err := a.Problem(traces[0], opts)
 	if err != nil {
@@ -93,11 +112,6 @@ func (a *Advisor) RecommendMulti(traces []*workload.Workload, opts Options) (*Re
 	if strategy == "" {
 		strategy = core.StrategyKAware
 	}
-	start := time.Now()
-	sol, err := core.Solve(&combined, strategy)
-	if err != nil {
-		return nil, err
-	}
 	rec := &Recommendation{
 		Table:          a.space.Table,
 		StructureNames: a.space.StructureNames(),
@@ -105,11 +119,16 @@ func (a *Advisor) RecommendMulti(traces []*workload.Workload, opts Options) (*Re
 		Segments:       segs,
 		Workload:       traces[0],
 		Problem:        &combined,
-		Solution:       sol,
 		Strategy:       strategy,
-		Elapsed:        time.Since(start),
 	}
+	start := time.Now()
+	sol, err := a.solveProblem(ctx, &combined, strategy, opts, rec)
+	rec.Elapsed = time.Since(start)
 	rec.fillInstrumentation(&combined)
+	if err != nil {
+		return rec, err
+	}
+	rec.Solution = sol
 	return rec, nil
 }
 

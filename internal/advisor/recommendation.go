@@ -32,6 +32,24 @@ type Recommendation struct {
 	// their individual durations.
 	MatrixBuilds    int64
 	MatrixBuildTime time.Duration
+	// Rung is the strategy that actually produced the solution: the
+	// requested strategy on a clean solve, a lower ladder rung (or
+	// core.RungLastKnownGood) when the resilient supervisor degraded.
+	Rung core.Strategy
+	// Degraded is true when the requested strategy did not answer and a
+	// fallback rung did.
+	Degraded bool
+	// RungReports lists every rung the resilient supervisor attempted,
+	// with the failure class and error of each one that did not answer.
+	// Empty on the plain (unsupervised) solve path.
+	RungReports []core.RungReport
+	// Degradations, Cancellations, and RecoveredPanics are the
+	// robustness ledger of the solve: rungs failed over, solves aborted
+	// by context (deadline, cancel, or budget), and panics converted to
+	// errors.
+	Degradations    int64
+	Cancellations   int64
+	RecoveredPanics int64
 }
 
 // fillInstrumentation copies the costing-layer counters off the solved
@@ -42,6 +60,9 @@ func (r *Recommendation) fillInstrumentation(p *core.Problem) {
 	}
 	r.MatrixBuilds = p.Metrics.MatrixBuilds()
 	r.MatrixBuildTime = p.Metrics.MatrixBuildTime()
+	r.Degradations = p.Metrics.Degradations()
+	r.Cancellations = p.Metrics.Cancellations()
+	r.RecoveredPanics = p.Metrics.RecoveredPanics()
 }
 
 // PerStatement expands the per-stage designs to one configuration per
@@ -186,6 +207,7 @@ func (r *Recommendation) Render(w io.Writer) {
 	fmt.Fprintf(w, "  what-if calls: %d   cache hit rate: %.1f%%   matrix build: %.1f ms (%d builds)\n",
 		r.Stats.WhatIfCalls, 100*r.Stats.HitRate(),
 		float64(r.MatrixBuildTime.Microseconds())/1000, r.MatrixBuilds)
+	r.RenderRobustness(w)
 	steps := r.Steps()
 	if len(steps) == 0 {
 		fmt.Fprintf(w, "  design: %s for the entire workload (no changes)\n",
@@ -199,5 +221,30 @@ func (r *Recommendation) Render(w io.Writer) {
 		for _, ddl := range s.DDL {
 			fmt.Fprintf(w, "             %s\n", ddl)
 		}
+	}
+}
+
+// RenderRobustness writes the robustness ledger of the solve: the
+// ladder rung that answered and every rung that failed before it, plus
+// the degradation/cancellation/recovered-panic counters. It prints
+// nothing for a clean unsupervised solve, and is safe to call on a
+// partial recommendation (one whose Solution is nil after an
+// interrupted or failed run).
+func (r *Recommendation) RenderRobustness(w io.Writer) {
+	if r.Degraded || r.Degradations > 0 || r.Cancellations > 0 || r.RecoveredPanics > 0 {
+		fmt.Fprintf(w, "  robustness: degradations %d   cancellations %d   recovered panics %d\n",
+			r.Degradations, r.Cancellations, r.RecoveredPanics)
+	}
+	if len(r.RungReports) == 0 {
+		return
+	}
+	for _, rep := range r.RungReports {
+		if rep.Err == nil {
+			fmt.Fprintf(w, "    rung %-14s answered in %.1f ms\n",
+				rep.Strategy, float64(rep.Elapsed.Microseconds())/1000)
+			continue
+		}
+		fmt.Fprintf(w, "    rung %-14s failed (%s) after %.1f ms: %v\n",
+			rep.Strategy, rep.Class, float64(rep.Elapsed.Microseconds())/1000, rep.Err)
 	}
 }

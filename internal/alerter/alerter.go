@@ -13,6 +13,7 @@
 package alerter
 
 import (
+	"context"
 	"fmt"
 
 	"dyndesign/internal/advisor"
@@ -141,14 +142,31 @@ func (a *Alerter) Observed() int { return a.observed }
 // Observe feeds one statement. It returns a non-nil Alert when the
 // window check fires.
 func (a *Alerter) Observe(s workload.Statement) (*Alert, error) {
-	slot := a.ring[a.pos]
+	return a.ObserveContext(context.Background(), s)
+}
+
+// ObserveContext is Observe with cooperative cancellation: the
+// per-candidate what-if costing loop stops with ctx's error when the
+// context is cancelled, leaving the window unchanged for this
+// statement.
+func (a *Alerter) ObserveContext(ctx context.Context, s workload.Statement) (*Alert, error) {
+	// Cost every candidate before mutating the window, so a mid-loop
+	// cancellation cannot leave slot and sums half-updated.
+	costs := make([]float64, len(a.configs))
 	for j, cfg := range a.configs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c, err := a.adv.StatementCost(s, cfg)
 		if err != nil {
 			return nil, err
 		}
-		a.sums[j] += c - slot[j]
-		slot[j] = c
+		costs[j] = c
+	}
+	slot := a.ring[a.pos]
+	for j := range a.configs {
+		a.sums[j] += costs[j] - slot[j]
+		slot[j] = costs[j]
 	}
 	a.pos = (a.pos + 1) % a.opts.WindowSize
 	if a.filled < a.opts.WindowSize {

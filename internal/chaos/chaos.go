@@ -1,0 +1,220 @@
+// Package chaos wraps a core.CostModel with deterministic fault
+// injection: evaluation errors, panics, and latency spikes, decided by
+// a seeded hash of the evaluation site rather than by a shared RNG.
+// The same seed therefore injects the same faults at the same sites no
+// matter how many goroutines evaluate the model or in which order —
+// the property that makes chaos runs reproducible under the parallel
+// solvers and the race detector.
+//
+// The stress suite (stress_test.go, run by `make chaos`) drives the
+// resilient solve supervisor over hundreds of seeded chaos models and
+// asserts the contract the supervisor advertises: every solve returns
+// a feasible solution or a typed error — never a hang, never a crash.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"dyndesign/internal/core"
+)
+
+// Kind is the kind of fault injected at an evaluation site.
+type Kind int
+
+// Fault kinds.
+const (
+	None Kind = iota
+	// Error makes the evaluation fail: it returns +Inf and records an
+	// evaluation error retrievable through TakeErr (the FallibleModel
+	// contract).
+	Error
+	// Panic makes the evaluation panic, exercising the recover paths in
+	// the worker pool and the supervisor.
+	Panic
+	// Latency delays the evaluation by Options.Latency, exercising
+	// deadline enforcement.
+	Latency
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Latency:
+		return "latency"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Options configures a chaos model. Rates are probabilities in [0, 1]
+// evaluated per site (a distinct EXEC stage/configuration pair or TRANS
+// configuration pair), not per call: whether a site faults is a pure
+// function of (seed, site), so injection is deterministic regardless of
+// evaluation order or parallelism.
+type Options struct {
+	// Seed selects the fault pattern; two models with the same seed and
+	// rates fault identically.
+	Seed int64
+	// ErrorRate is the fraction of sites that fail with an evaluation
+	// error.
+	ErrorRate float64
+	// PanicRate is the fraction of sites that panic.
+	PanicRate float64
+	// LatencyRate is the fraction of sites delayed by Latency.
+	LatencyRate float64
+	// Latency is the delay injected at latency sites (default 1ms).
+	Latency time.Duration
+	// Persistent makes fault sites fire on every evaluation. The
+	// default (one-shot) fires each site once and then heals it, the
+	// transient-fault shape under which a degraded rung or a retry can
+	// succeed.
+	Persistent bool
+}
+
+// Model is a fault-injecting core.CostModel. It implements
+// core.FallibleModel so injected evaluation errors surface through
+// TakeErr the way real what-if faults do, and it is safe for concurrent
+// use whenever the wrapped model is.
+type Model struct {
+	inner core.CostModel
+	opts  Options
+
+	mu    sync.Mutex
+	fired map[uint64]bool
+	err   error
+
+	injected struct {
+		sync.Mutex
+		errors, panics, latencies int
+	}
+}
+
+// Wrap builds a chaos model around inner.
+func Wrap(inner core.CostModel, opts Options) *Model {
+	if opts.Latency <= 0 {
+		opts.Latency = time.Millisecond
+	}
+	return &Model{inner: inner, opts: opts, fired: make(map[uint64]bool)}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// hash from a site key to 64 uniform bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// siteKey folds an evaluation site (tagged to keep EXEC and TRANS
+// spaces disjoint) with the seed.
+func (m *Model) siteKey(tag uint64, a, b uint64) uint64 {
+	h := splitmix64(uint64(m.opts.Seed) ^ tag)
+	h = splitmix64(h ^ a)
+	return splitmix64(h ^ b)
+}
+
+// decide returns the fault for a site, honoring one-shot semantics.
+func (m *Model) decide(key uint64) Kind {
+	u := float64(splitmix64(key)>>11) / float64(1<<53) // uniform [0,1)
+	var kind Kind
+	switch {
+	case u < m.opts.PanicRate:
+		kind = Panic
+	case u < m.opts.PanicRate+m.opts.ErrorRate:
+		kind = Error
+	case u < m.opts.PanicRate+m.opts.ErrorRate+m.opts.LatencyRate:
+		kind = Latency
+	default:
+		return None
+	}
+	if !m.opts.Persistent {
+		m.mu.Lock()
+		done := m.fired[key]
+		m.fired[key] = true
+		m.mu.Unlock()
+		if done {
+			return None
+		}
+	}
+	return kind
+}
+
+// inject applies the site's fault and reports whether the caller must
+// return +Inf (error fault) instead of a real value.
+func (m *Model) inject(key uint64, site string) (failed bool) {
+	switch m.decide(key) {
+	case Panic:
+		m.injected.Lock()
+		m.injected.panics++
+		m.injected.Unlock()
+		panic(fmt.Sprintf("chaos: injected panic at %s", site))
+	case Error:
+		m.injected.Lock()
+		m.injected.errors++
+		m.injected.Unlock()
+		m.mu.Lock()
+		if m.err == nil {
+			m.err = fmt.Errorf("chaos: injected evaluation error at %s", site)
+		}
+		m.mu.Unlock()
+		return true
+	case Latency:
+		m.injected.Lock()
+		m.injected.latencies++
+		m.injected.Unlock()
+		time.Sleep(m.opts.Latency)
+	}
+	return false
+}
+
+// Exec evaluates EXEC with fault injection.
+func (m *Model) Exec(stage int, c core.Config) float64 {
+	if m.inject(m.siteKey(1, uint64(stage), uint64(c)), fmt.Sprintf("exec(%d, %d)", stage, c)) {
+		return math.Inf(1)
+	}
+	return m.inner.Exec(stage, c)
+}
+
+// Trans evaluates TRANS with fault injection. The identity transition
+// is never faulted: the core contract requires Trans(c, c) == 0.
+func (m *Model) Trans(from, to core.Config) float64 {
+	if from == to {
+		return m.inner.Trans(from, to)
+	}
+	if m.inject(m.siteKey(2, uint64(from), uint64(to)), fmt.Sprintf("trans(%d, %d)", from, to)) {
+		return math.Inf(1)
+	}
+	return m.inner.Trans(from, to)
+}
+
+// Size evaluates SIZE without injection: size drives feasibility
+// filtering, and a faulted size would silently change the problem
+// rather than stress the solve path.
+func (m *Model) Size(c core.Config) float64 { return m.inner.Size(c) }
+
+// TakeErr returns the first injected evaluation error since the last
+// call and clears it, per the core.FallibleModel contract.
+func (m *Model) TakeErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.err
+	m.err = nil
+	return err
+}
+
+// Injected reports how many faults of each kind actually fired.
+func (m *Model) Injected() (errors, panics, latencies int) {
+	m.injected.Lock()
+	defer m.injected.Unlock()
+	return m.injected.errors, m.injected.panics, m.injected.latencies
+}

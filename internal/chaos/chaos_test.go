@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"dyndesign/internal/core"
+)
+
+var _ core.FallibleModel = (*Model)(nil)
+
+// cleanModel is a deterministic synthetic cost model: costs are pure
+// functions of the evaluation site, so chaos tests need no tables and
+// no RNG.
+type cleanModel struct{}
+
+func (cleanModel) Exec(stage int, c core.Config) float64 {
+	h := splitmix64(uint64(stage)<<32 ^ uint64(c))
+	return 1 + float64(h%1000)/10
+}
+
+func (cleanModel) Trans(from, to core.Config) float64 {
+	if from == to {
+		return 0
+	}
+	added, removed := from.Diff(to)
+	return float64(10*len(added) + 2*len(removed))
+}
+
+func (cleanModel) Size(c core.Config) float64 { return float64(c.Count()) }
+
+func TestChaosDeterministicAcrossOrderAndParallelism(t *testing.T) {
+	opts := Options{Seed: 42, ErrorRate: 0.05, Persistent: true}
+	a := Wrap(cleanModel{}, opts)
+	b := Wrap(cleanModel{}, opts)
+
+	type site struct {
+		stage int
+		cfg   core.Config
+	}
+	var sites []site
+	for stage := 0; stage < 20; stage++ {
+		for cfg := core.Config(0); cfg < 16; cfg++ {
+			sites = append(sites, site{stage, cfg})
+		}
+	}
+	// a evaluates serially in order; b evaluates concurrently in
+	// reverse. Same seed, same sites — the faulted set must agree.
+	got := make([]float64, len(sites))
+	for i, s := range sites {
+		got[i] = a.Exec(s.stage, s.cfg)
+	}
+	conc := make([]float64, len(sites))
+	var wg sync.WaitGroup
+	for i := len(sites) - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conc[i] = b.Exec(sites[i].stage, sites[i].cfg)
+		}(i)
+	}
+	wg.Wait()
+	faults := 0
+	for i := range sites {
+		if got[i] != conc[i] {
+			t.Fatalf("site %d: serial %v != concurrent %v", i, got[i], conc[i])
+		}
+		if math.IsInf(got[i], 1) {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Error("5%% error rate over 320 sites injected nothing")
+	}
+}
+
+func TestChaosOneShotHeals(t *testing.T) {
+	m := Wrap(cleanModel{}, Options{Seed: 7, ErrorRate: 1}) // every site faults once
+	if v := m.Exec(0, 1); !math.IsInf(v, 1) {
+		t.Fatalf("first evaluation survived: %v", v)
+	}
+	if err := m.TakeErr(); err == nil {
+		t.Fatal("no error recorded")
+	}
+	if v := m.Exec(0, 1); math.IsInf(v, 1) {
+		t.Fatal("one-shot site fired twice")
+	}
+	if err := m.TakeErr(); err != nil {
+		t.Fatalf("healed site still errors: %v", err)
+	}
+}
+
+func TestChaosPersistentKeepsFiring(t *testing.T) {
+	m := Wrap(cleanModel{}, Options{Seed: 7, ErrorRate: 1, Persistent: true})
+	for i := 0; i < 3; i++ {
+		if v := m.Exec(0, 1); !math.IsInf(v, 1) {
+			t.Fatalf("persistent site healed on call %d", i)
+		}
+	}
+	errs, _, _ := m.Injected()
+	if errs != 3 {
+		t.Errorf("injected errors = %d, want 3", errs)
+	}
+}
+
+func TestChaosPanicRecoverable(t *testing.T) {
+	m := Wrap(cleanModel{}, Options{Seed: 7, PanicRate: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic injected")
+			}
+		}()
+		m.Exec(0, 1)
+	}()
+	// One-shot: the same site is healed afterwards.
+	if v := m.Exec(0, 1); math.IsInf(v, 1) {
+		t.Error("healed panic site returned Inf")
+	}
+}
+
+func TestChaosLatencyDelays(t *testing.T) {
+	m := Wrap(cleanModel{}, Options{Seed: 7, LatencyRate: 1, Latency: 20 * time.Millisecond, Persistent: true})
+	start := time.Now()
+	m.Exec(0, 1)
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("latency site returned in %v", elapsed)
+	}
+}
+
+func TestChaosIdentityTransNeverFaulted(t *testing.T) {
+	m := Wrap(cleanModel{}, Options{Seed: 7, ErrorRate: 1, PanicRate: 0, Persistent: true})
+	for c := core.Config(0); c < 64; c++ {
+		if v := m.Trans(c, c); v != 0 {
+			t.Fatalf("Trans(%d, %d) = %v under full injection", c, c, v)
+		}
+	}
+}
+
+func TestChaosTakeErrDrains(t *testing.T) {
+	m := Wrap(cleanModel{}, Options{Seed: 11, ErrorRate: 1, Persistent: true})
+	m.Exec(0, 1)
+	first := m.TakeErr()
+	if first == nil {
+		t.Fatal("no error recorded")
+	}
+	if err := m.TakeErr(); err != nil {
+		t.Fatalf("TakeErr did not drain: %v", err)
+	}
+	if errors.Is(first, core.ErrModelFault) {
+		t.Error("chaos errors should be raw; the supervisor adds the ErrModelFault wrapper")
+	}
+}

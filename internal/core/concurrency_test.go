@@ -21,8 +21,14 @@ func TestBuildMatricesParallelMatchesSerial(t *testing.T) {
 	parallel := *serial
 	parallel.Parallelism = 8
 
-	ms := serial.buildMatrices(configs)
-	mp := parallel.buildMatrices(configs)
+	ms, err := serial.buildMatrices(bg, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := parallel.buildMatrices(bg, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for i := range ms.exec {
 		for j := range ms.exec[i] {
@@ -59,11 +65,11 @@ func TestRankingParallelSweepDeterministic(t *testing.T) {
 	parallel := *serial
 	parallel.Parallelism = 8
 
-	rs, err := SolveRanking(serial, RankingOptions{Prune: true})
+	rs, err := SolveRanking(bg, serial, RankingOptions{Prune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp, err := SolveRanking(&parallel, RankingOptions{Prune: true})
+	rp, err := SolveRanking(bg, &parallel, RankingOptions{Prune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +101,7 @@ func TestSharedProblemAllStrategiesConcurrently(t *testing.T) {
 	// Serial reference answer per strategy.
 	want := map[Strategy]float64{}
 	for _, s := range Strategies() {
-		sol, err := Solve(p, s)
+		sol, err := Solve(bg, p, s)
 		if err != nil {
 			t.Fatalf("strategy %s (serial): %v", s, err)
 		}
@@ -110,7 +116,7 @@ func TestSharedProblemAllStrategiesConcurrently(t *testing.T) {
 			wg.Add(1)
 			go func(s Strategy) {
 				defer wg.Done()
-				sol, err := Solve(p, s)
+				sol, err := Solve(bg, p, s)
 				if err != nil {
 					errs <- err
 					return
@@ -148,7 +154,7 @@ func TestMergeCountAllKZeroInfeasibleInitial(t *testing.T) {
 	// size = structure count, so SpaceBound 1 excludes ConfigOf(0, 1).
 	p := &Problem{Stages: 5, Configs: configs, Initial: ConfigOf(0, 1),
 		SpaceBound: 1, K: 0, Policy: CountAll, Model: m}
-	sol, _, err := SolveMergeFromUnconstrained(p)
+	sol, _, err := SolveMergeFromUnconstrained(bg, p)
 	if err == nil {
 		t.Fatalf("infeasible problem returned solution %+v", sol)
 	}
@@ -156,13 +162,13 @@ func TestMergeCountAllKZeroInfeasibleInitial(t *testing.T) {
 		t.Fatalf("error return carried a solution: %+v", sol)
 	}
 	// The k-aware solver agrees the problem is infeasible.
-	if _, err := SolveKAware(p); err == nil {
+	if _, err := SolveKAware(bg, p); err == nil {
 		t.Error("SolveKAware accepted the infeasible problem")
 	}
 	// The feasible sibling (initial inside the bound) still works.
 	ok := *p
 	ok.Initial = ConfigOf(0)
-	sol, _, err = SolveMergeFromUnconstrained(&ok)
+	sol, _, err = SolveMergeFromUnconstrained(bg, &ok)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +191,7 @@ func TestRankingBudgetTypedError(t *testing.T) {
 	m, configs := randomModel(rng, 10, 2)
 	p := &Problem{Stages: 10, Configs: configs, Initial: 0, K: 0, Model: m}
 
-	res, err := SolveRanking(p, RankingOptions{MaxExpansions: 3})
+	res, err := SolveRanking(bg, p, RankingOptions{MaxExpansions: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,16 +202,16 @@ func TestRankingBudgetTypedError(t *testing.T) {
 		t.Fatalf("RankingResult.Err() = %v, want ErrRankingBudget", err)
 	}
 
-	sol, err := rankingSolution(p, RankingOptions{MaxExpansions: 3})
+	sol, err := rankingSolution(bg, p, RankingOptions{MaxExpansions: 3})
 	if sol != nil || !errors.Is(err, ErrRankingBudget) {
 		t.Fatalf("rankingSolution = (%v, %v), want typed budget error", sol, err)
 	}
 	// A successful ranking reports no error.
-	sol, err = rankingSolution(p, RankingOptions{Prune: true})
+	sol, err = rankingSolution(bg, p, RankingOptions{Prune: true})
 	if err != nil || sol == nil {
 		t.Fatalf("feasible ranking failed: (%v, %v)", sol, err)
 	}
-	if res2, _ := SolveRanking(p, RankingOptions{Prune: true}); res2.Err() != nil {
+	if res2, _ := SolveRanking(bg, p, RankingOptions{Prune: true}); res2.Err() != nil {
 		t.Fatalf("Err() non-nil on success: %v", res2.Err())
 	}
 }
@@ -224,7 +230,7 @@ func TestValidateWithoutInitialInConfigs(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatalf("problem without initial in Configs rejected: %v", err)
 	}
-	sol, err := SolveKAware(p)
+	sol, err := SolveKAware(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}

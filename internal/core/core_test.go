@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 )
+
+// bg is the context used by tests that don't exercise cancellation.
+var bg = context.Background()
 
 // tableModel is a synthetic cost model over dense tables, for testing
 // the solvers against brute force.
@@ -171,7 +175,7 @@ func TestUnconstrainedMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := SolveUnconstrained(p)
+		got, err := SolveUnconstrained(bg, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +208,7 @@ func TestKAwareMatchesBruteForce(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := SolveKAware(p)
+				got, err := SolveKAware(bg, p)
 				if err != nil {
 					t.Fatalf("trial %d k=%d policy=%v: %v", trial, k, policy, err)
 				}
@@ -232,11 +236,11 @@ func TestRankingMatchesKAware(t *testing.T) {
 					Stages: stages, Configs: configs, Initial: 0,
 					K: k, Model: m,
 				}
-				want, err := SolveKAware(p)
+				want, err := SolveKAware(bg, p)
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := SolveRanking(p, RankingOptions{Prune: prune})
+				res, err := SolveRanking(bg, p, RankingOptions{Prune: prune})
 				if err != nil {
 					t.Fatalf("trial %d k=%d prune=%v: %v", trial, k, prune, err)
 				}
@@ -260,11 +264,11 @@ func TestRankingPruneExpandsLess(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	m, configs := randomModel(rng, 8, 2)
 	p := &Problem{Stages: 8, Configs: configs, Initial: 0, K: 1, Model: m}
-	plain, err := SolveRanking(p, RankingOptions{})
+	plain, err := SolveRanking(bg, p, RankingOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := SolveRanking(p, RankingOptions{Prune: true})
+	pruned, err := SolveRanking(bg, p, RankingOptions{Prune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +281,7 @@ func TestRankingBudgetExhaustion(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	m, configs := randomModel(rng, 10, 2)
 	p := &Problem{Stages: 10, Configs: configs, Initial: 0, K: 0, Model: m}
-	res, err := SolveRanking(p, RankingOptions{MaxExpansions: 3})
+	res, err := SolveRanking(bg, p, RankingOptions{MaxExpansions: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,11 +298,11 @@ func TestMergeProducesFeasibleAndBounded(t *testing.T) {
 		m, configs := randomModel(rng, stages, structs)
 		for k := 0; k <= 2; k++ {
 			p := &Problem{Stages: stages, Configs: configs, Initial: 0, K: k, Model: m}
-			optimal, err := SolveKAware(p)
+			optimal, err := SolveKAware(bg, p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			sol, steps, err := SolveMergeFromUnconstrained(p)
+			sol, steps, err := SolveMergeFromUnconstrained(bg, p)
 			if err != nil {
 				t.Fatalf("trial %d k=%d: %v", trial, k, err)
 			}
@@ -317,13 +321,13 @@ func TestMergeNoOpWhenAlreadyFeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	m, configs := randomModel(rng, 6, 2)
 	p := &Problem{Stages: 6, Configs: configs, Initial: 0, K: Unconstrained, Model: m}
-	seed, err := SolveUnconstrained(p)
+	seed, err := SolveUnconstrained(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p2 := *p
 	p2.K = seed.Changes // exactly feasible
-	sol, steps, err := SolveMerge(&p2, seed)
+	sol, steps, err := SolveMerge(bg, &p2, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +343,7 @@ func TestMergeCountAllKZeroForcesInitial(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	m, configs := randomModel(rng, 5, 2)
 	p := &Problem{Stages: 5, Configs: configs, Initial: 0, K: 0, Policy: CountAll, Model: m}
-	sol, _, err := SolveMergeFromUnconstrained(p)
+	sol, _, err := SolveMergeFromUnconstrained(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,11 +365,11 @@ func TestGreedySeqFeasibleAndNeverBeatsOptimal(t *testing.T) {
 		m, configs := randomModel(rng, stages, structs)
 		for k := 0; k <= 2; k++ {
 			p := &Problem{Stages: stages, Configs: configs, Initial: 0, K: k, Model: m}
-			optimal, err := SolveKAware(p)
+			optimal, err := SolveKAware(bg, p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			sol, reduced, err := SolveGreedySeq(p)
+			sol, reduced, err := SolveGreedySeq(bg, p)
 			if err != nil {
 				t.Fatalf("trial %d k=%d: %v", trial, k, err)
 			}
@@ -389,14 +393,14 @@ func TestHybridMatchesFeasibilityAndChoice(t *testing.T) {
 		m, configs := randomModel(rng, stages, 2)
 		for k := 0; k <= 3; k++ {
 			p := &Problem{Stages: stages, Configs: configs, Initial: 0, K: k, Model: m}
-			sol, choice, err := SolveHybrid(p)
+			sol, choice, err := SolveHybrid(bg, p)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if err := p.CheckSolution(sol); err != nil {
 				t.Fatalf("trial %d k=%d choice=%s: %v", trial, k, choice, err)
 			}
-			optimal, err := SolveKAware(p)
+			optimal, err := SolveKAware(bg, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -414,10 +418,10 @@ func TestHybridReturnsUnconstrainedWhenFeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
 	m, configs := randomModel(rng, 6, 2)
 	p := &Problem{Stages: 6, Configs: configs, Initial: 0, K: Unconstrained, Model: m}
-	seed, _ := SolveUnconstrained(p)
+	seed, _ := SolveUnconstrained(bg, p)
 	p2 := *p
 	p2.K = seed.Changes + 1
-	sol, choice, err := SolveHybrid(&p2)
+	sol, choice, err := SolveHybrid(bg, &p2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,12 +437,12 @@ func TestSolveDispatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(59))
 	m, configs := randomModel(rng, 5, 2)
 	p := &Problem{Stages: 5, Configs: configs, Initial: 0, K: 2, Model: m}
-	optimal, err := SolveKAware(p)
+	optimal, err := SolveKAware(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range Strategies() {
-		sol, err := Solve(p, s)
+		sol, err := Solve(bg, p, s)
 		if err != nil {
 			t.Fatalf("strategy %s: %v", s, err)
 		}
@@ -455,7 +459,7 @@ func TestSolveDispatch(t *testing.T) {
 			}
 		}
 	}
-	if _, err := Solve(p, "nonsense"); err == nil {
+	if _, err := Solve(bg, p, "nonsense"); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }
@@ -468,7 +472,7 @@ func TestCostMonotonicInK(t *testing.T) {
 	for k := 0; k <= 12; k++ {
 		pk := *p
 		pk.K = k
-		sol, err := SolveKAware(&pk)
+		sol, err := SolveKAware(bg, &pk)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -480,7 +484,7 @@ func TestCostMonotonicInK(t *testing.T) {
 	// And k = n matches unconstrained.
 	pu := *p
 	pu.K = Unconstrained
-	unc, err := SolveUnconstrained(&pu)
+	unc, err := SolveUnconstrained(bg, &pu)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -496,7 +500,7 @@ func TestSpaceBoundExcludesConfigs(t *testing.T) {
 		Stages: 5, Configs: configs, Initial: 0, K: Unconstrained,
 		SpaceBound: 1, Model: m, // only configs with at most one structure
 	}
-	sol, err := SolveUnconstrained(p)
+	sol, err := SolveUnconstrained(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,7 +512,7 @@ func TestSpaceBoundExcludesConfigs(t *testing.T) {
 	// A bound excluding everything is an error.
 	p.SpaceBound = 0.5
 	p.Configs = []Config{ConfigOf(0), ConfigOf(1)}
-	if _, err := SolveUnconstrained(p); err == nil {
+	if _, err := SolveUnconstrained(bg, p); err == nil {
 		t.Error("empty usable set accepted")
 	}
 }
@@ -517,7 +521,7 @@ func TestCheckSolutionCatchesLies(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	m, configs := randomModel(rng, 4, 2)
 	p := &Problem{Stages: 4, Configs: configs, Initial: 0, K: 1, Model: m}
-	sol, err := SolveKAware(p)
+	sol, err := SolveKAware(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -544,7 +548,7 @@ func TestKAwareStaticSpecialCase(t *testing.T) {
 	rng := rand.New(rand.NewSource(73))
 	m, configs := randomModel(rng, 8, 2)
 	p := &Problem{Stages: 8, Configs: configs, Initial: 0, K: 0, Policy: FreeEndpoints, Model: m}
-	sol, err := SolveKAware(p)
+	sol, err := SolveKAware(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"dyndesign/internal/core"
@@ -37,7 +38,7 @@ func ExampleSolveKAware() {
 		K:       1,
 		Model:   twoPhaseModel{},
 	}
-	sol, err := core.SolveKAware(p)
+	sol, err := core.SolveKAware(context.Background(), p)
 	if err != nil {
 		panic(err)
 	}
@@ -62,13 +63,13 @@ func ExampleSolveMerge() {
 		K:       core.Unconstrained,
 		Model:   twoPhaseModel{},
 	}
-	seed, err := core.SolveUnconstrained(p)
+	seed, err := core.SolveUnconstrained(context.Background(), p)
 	if err != nil {
 		panic(err)
 	}
 	constrained := *p
 	constrained.K = 0
-	sol, steps, err := core.SolveMerge(&constrained, seed)
+	sol, steps, err := core.SolveMerge(context.Background(), &constrained, seed)
 	if err != nil {
 		panic(err)
 	}

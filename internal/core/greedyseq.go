@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // SolveGreedySeq implements the GREEDY-SEQ-based heuristic of §4.1: the
 // exponential candidate configuration space is first reduced to a small
@@ -14,7 +17,7 @@ import "math"
 // follow the O(m·n) shape it states. The result is feasible but not
 // guaranteed optimal. The reduced candidate list is returned alongside
 // the solution for inspection.
-func SolveGreedySeq(p *Problem) (*Solution, []Config, error) {
+func SolveGreedySeq(ctx context.Context, p *Problem) (*Solution, []Config, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -32,9 +35,14 @@ func SolveGreedySeq(p *Problem) (*Solution, []Config, error) {
 		allowed[c] = true
 	}
 
-	// Per-stage best configuration by execution cost alone.
+	// Per-stage best configuration by execution cost alone. Each stage
+	// costs every candidate once, so the context check per stage bounds
+	// cancellation latency by m what-if calls.
 	best := make([]Config, p.Stages)
 	for i := 0; i < p.Stages; i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
 		bc := configs[0]
 		bv := math.Inf(1)
 		for _, c := range configs {
@@ -68,7 +76,7 @@ func SolveGreedySeq(p *Problem) (*Solution, []Config, error) {
 
 	sub := *p
 	sub.Configs = reduced
-	sol, err := SolveKAware(&sub)
+	sol, err := SolveKAware(ctx, &sub)
 	if err != nil {
 		return nil, reduced, err
 	}

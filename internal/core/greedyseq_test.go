@@ -15,11 +15,11 @@ func TestGreedySeqRespectsCandidateSpace(t *testing.T) {
 	// Restricted space: empty, {0}, {1} — the union {0,1} is illegal.
 	restricted := []Config{ConfigOf(), ConfigOf(0), ConfigOf(1)}
 	p := &Problem{Stages: 10, Configs: restricted, Initial: 0, K: 2, Model: m}
-	optimal, err := SolveKAware(p)
+	optimal, err := SolveKAware(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, reduced, err := SolveGreedySeq(p)
+	sol, reduced, err := SolveGreedySeq(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestGreedySeqUsesUnionsWhenAllowed(t *testing.T) {
 	}
 	configs := []Config{0, 1, 2, 3}
 	p := &Problem{Stages: 2, Configs: configs, Initial: 0, K: 0, Model: m}
-	_, reduced, err := SolveGreedySeq(p)
+	_, reduced, err := SolveGreedySeq(bg, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // HybridChoice names the technique a hybrid solve actually ran.
 type HybridChoice string
@@ -27,17 +31,17 @@ const (
 //
 // decide the branch. The choice made is reported for the ablation
 // benchmarks that validate the switch-over point.
-func SolveHybrid(p *Problem) (*Solution, HybridChoice, error) {
+func SolveHybrid(ctx context.Context, p *Problem) (*Solution, HybridChoice, error) {
 	if err := p.Validate(); err != nil {
 		return nil, "", err
 	}
 	if p.K == Unconstrained {
-		sol, err := SolveUnconstrained(p)
+		sol, err := SolveUnconstrained(ctx, p)
 		return sol, ChoseUnconstrained, err
 	}
 	unconstrained := *p
 	unconstrained.K = Unconstrained
-	seed, err := SolveUnconstrained(&unconstrained)
+	seed, err := SolveUnconstrained(ctx, &unconstrained)
 	if err != nil {
 		return nil, "", err
 	}
@@ -56,10 +60,10 @@ func SolveHybrid(p *Problem) (*Solution, HybridChoice, error) {
 	kawareWork := float64(p.K+1) * n * m * m
 	mergeWork := float64(l-p.K) * float64(l) * m
 	if kawareWork <= mergeWork {
-		sol, err := SolveKAware(p)
+		sol, err := SolveKAware(ctx, p)
 		return sol, ChoseKAware, err
 	}
-	sol, _, err := SolveMerge(p, seed)
+	sol, _, err := SolveMerge(ctx, p, seed)
 	return sol, ChoseMerge, err
 }
 
@@ -85,23 +89,43 @@ func Strategies() []Strategy {
 	}
 }
 
-// Solve dispatches a problem to the named strategy with default options.
-func Solve(p *Problem, strategy Strategy) (*Solution, error) {
+// Solve dispatches a problem to the named strategy with default
+// options. It is the single entry point through which the advisor and
+// the resilient supervisor run strategies, and the place where solve
+// outcomes are classified into the Metrics ledger: a context-caused
+// return (deadline, cancel, budget cause) counts as a cancellation and
+// a *PanicError recovered from the worker pool as a recovered panic.
+func Solve(ctx context.Context, p *Problem, strategy Strategy) (*Solution, error) {
+	sol, err := solve(ctx, p, strategy)
+	if err != nil {
+		var pe *PanicError
+		switch {
+		case errors.As(err, &pe):
+			p.Metrics.noteRecoveredPanic()
+		case ctxErr(ctx) != nil:
+			p.Metrics.noteCancellation()
+		}
+	}
+	return sol, err
+}
+
+// solve is the raw strategy dispatch.
+func solve(ctx context.Context, p *Problem, strategy Strategy) (*Solution, error) {
 	switch strategy {
 	case StrategyKAware, "":
-		return SolveKAware(p)
+		return SolveKAware(ctx, p)
 	case StrategyGreedySeq:
-		sol, _, err := SolveGreedySeq(p)
+		sol, _, err := SolveGreedySeq(ctx, p)
 		return sol, err
 	case StrategyMerge:
-		sol, _, err := SolveMergeFromUnconstrained(p)
+		sol, _, err := SolveMergeFromUnconstrained(ctx, p)
 		return sol, err
 	case StrategyRanking:
-		return rankingSolution(p, RankingOptions{})
+		return rankingSolution(ctx, p, RankingOptions{})
 	case StrategyRankAndMerge:
-		return SolveRankAndMerge(p, RankingOptions{})
+		return SolveRankAndMerge(ctx, p, RankingOptions{})
 	case StrategyHybrid:
-		sol, _, err := SolveHybrid(p)
+		sol, _, err := SolveHybrid(ctx, p)
 		return sol, err
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %q", strategy)

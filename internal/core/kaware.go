@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -12,10 +13,12 @@ import (
 // the layer; switching moves one layer down. The shortest path over the
 // layered DAG is the constrained optimum, found in O(K·n·m²).
 //
-// With K == Unconstrained it reduces to SolveUnconstrained.
-func SolveKAware(p *Problem) (*Solution, error) {
+// With K == Unconstrained it reduces to SolveUnconstrained. The layer
+// sweep checks the context between stages, so cancellation latency is
+// bounded by one O(K·m²) relaxation.
+func SolveKAware(ctx context.Context, p *Problem) (*Solution, error) {
 	if p.K == Unconstrained {
-		return SolveUnconstrained(p)
+		return SolveUnconstrained(ctx, p)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -24,7 +27,10 @@ func SolveKAware(p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := p.buildMatrices(configs)
+	m, err := p.buildMatrices(ctx, configs)
+	if err != nil {
+		return nil, err
+	}
 	nc := len(configs)
 	layers := p.K + 1
 
@@ -54,6 +60,9 @@ func SolveKAware(p *Problem) (*Solution, error) {
 	parents := make([][]int32, p.Stages)
 	next := make([]float64, nc*layers)
 	for i := 1; i < p.Stages; i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		parent := make([]int32, nc*layers)
 		for x := range next {
 			next[x] = inf

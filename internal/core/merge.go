@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -18,8 +19,8 @@ import (
 // least one change (two, when C' coalesces with a neighbour). The result
 // is feasible but not guaranteed optimal. It returns the refined
 // solution and the number of merge steps taken.
-func SolveMerge(p *Problem, initial *Solution) (*Solution, int, error) {
-	return SolveMergeOpts(p, initial, MergeOptions{MemoizeSegments: true})
+func SolveMerge(ctx context.Context, p *Problem, initial *Solution) (*Solution, int, error) {
+	return SolveMergeOpts(ctx, p, initial, MergeOptions{MemoizeSegments: true})
 }
 
 // MergeOptions configures SolveMergeOpts.
@@ -33,8 +34,11 @@ type MergeOptions struct {
 	MemoizeSegments bool
 }
 
-// SolveMergeOpts is SolveMerge with explicit options.
-func SolveMergeOpts(p *Problem, initial *Solution, opts MergeOptions) (*Solution, int, error) {
+// SolveMergeOpts is SolveMerge with explicit options. The merge loop
+// checks the context once per candidate pair, so cancellation latency
+// is bounded by one O(m) penalty scan even in the faithful
+// (un-memoized) mode where each scan re-sums segment costs.
+func SolveMergeOpts(ctx context.Context, p *Problem, initial *Solution, opts MergeOptions) (*Solution, int, error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -61,7 +65,7 @@ func SolveMergeOpts(p *Problem, initial *Solution, opts MergeOptions) (*Solution
 	var prefix [][]float64
 	if opts.MemoizeSegments {
 		prefix = make([][]float64, len(configs))
-		parallelFor(p.workers(), len(configs), func(ci int) {
+		err := parallelFor(ctx, p.workers(), len(configs), func(ci int) {
 			cfg := configs[ci]
 			row := make([]float64, p.Stages+1)
 			for i := 0; i < p.Stages; i++ {
@@ -69,6 +73,9 @@ func SolveMergeOpts(p *Problem, initial *Solution, opts MergeOptions) (*Solution
 			}
 			prefix[ci] = row
 		})
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 
 	// The design sequence as runs of equal configurations.
@@ -130,6 +137,9 @@ func SolveMergeOpts(p *Problem, initial *Solution, opts MergeOptions) (*Solution
 		bestPair := -1
 		var bestCfg Config
 		for r := 0; r+1 < len(runs); r++ {
+			if err := ctxErr(ctx); err != nil {
+				return nil, steps, err
+			}
 			left, right := runs[r], runs[r+1]
 			prev := p.Initial
 			if r > 0 {
@@ -190,12 +200,12 @@ func SolveMergeOpts(p *Problem, initial *Solution, opts MergeOptions) (*Solution
 // SolveMergeFromUnconstrained runs sequential merging seeded with the
 // unconstrained sequence-graph optimum, the way the paper's §4.2
 // describes and its Figure 4 measures.
-func SolveMergeFromUnconstrained(p *Problem) (*Solution, int, error) {
+func SolveMergeFromUnconstrained(ctx context.Context, p *Problem) (*Solution, int, error) {
 	unconstrained := *p
 	unconstrained.K = Unconstrained
-	seed, err := SolveUnconstrained(&unconstrained)
+	seed, err := SolveUnconstrained(ctx, &unconstrained)
 	if err != nil {
 		return nil, 0, err
 	}
-	return SolveMerge(p, seed)
+	return SolveMerge(ctx, p, seed)
 }

@@ -13,6 +13,9 @@ import (
 type Metrics struct {
 	matrixBuilds     atomic.Int64
 	matrixBuildNanos atomic.Int64
+	degradations     atomic.Int64
+	cancellations    atomic.Int64
+	recoveredPanics  atomic.Int64
 }
 
 // noteMatrixBuild records one dense cost-table evaluation.
@@ -41,4 +44,58 @@ func (m *Metrics) MatrixBuildTime() time.Duration {
 		return 0
 	}
 	return time.Duration(m.matrixBuildNanos.Load())
+}
+
+// noteDegradation records one rung of the resilient supervisor failing
+// over to the next rung of its ladder.
+func (m *Metrics) noteDegradation() {
+	if m == nil {
+		return
+	}
+	m.degradations.Add(1)
+}
+
+// Degradations returns how many times a resilient solve fell from one
+// ladder rung to the next (timeout, budget, fault, or panic).
+func (m *Metrics) Degradations() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.degradations.Load()
+}
+
+// noteCancellation records one solve aborted by its context — a
+// deadline, an explicit cancel, or a tripped work budget (which is
+// delivered through context cancellation).
+func (m *Metrics) noteCancellation() {
+	if m == nil {
+		return
+	}
+	m.cancellations.Add(1)
+}
+
+// Cancellations returns how many solves were aborted by their context.
+func (m *Metrics) Cancellations() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cancellations.Load()
+}
+
+// noteRecoveredPanic records one panic recovered from a solver worker
+// or a supervisor rung and converted into a typed error.
+func (m *Metrics) noteRecoveredPanic() {
+	if m == nil {
+		return
+	}
+	m.recoveredPanics.Add(1)
+}
+
+// RecoveredPanics returns how many panics the solve pipeline recovered
+// and converted into errors instead of crashing the process.
+func (m *Metrics) RecoveredPanics() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.recoveredPanics.Load()
 }

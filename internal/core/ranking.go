@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,6 +39,12 @@ const DefaultRankingBudget = 5_000_000
 // backward cost-to-go sweep fans out per stage; below it the serial
 // loop is faster than scheduling workers.
 const parallelSweepMinConfigs = 32
+
+// rankingCtxCheckInterval is how many frontier expansions the ranking
+// enumeration performs between context checks: frequent enough that
+// cancellation lands within microseconds, rare enough that the check is
+// free relative to the heap work.
+const rankingCtxCheckInterval = 1024
 
 // RankingResult reports the outcome of SolveRanking.
 type RankingResult struct {
@@ -103,12 +110,16 @@ func (h *pathHeap) Pop() any {
 // backward sweep), which pops complete paths in exactly ascending cost —
 // equivalent in output order to the path-deletion ranking algorithms the
 // paper cites, without materializing modified graphs.
-func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
+//
+// The enumeration checks the context every rankingCtxCheckInterval
+// frontier pops, so even a ranking that would blow through millions of
+// expansions stops promptly on cancellation.
+func SolveRanking(ctx context.Context, p *Problem, opts RankingOptions) (*RankingResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if p.K == Unconstrained {
-		sol, err := SolveUnconstrained(p)
+		sol, err := SolveUnconstrained(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +129,10 @@ func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := p.buildMatrices(configs)
+	m, err := p.buildMatrices(ctx, configs)
+	if err != nil {
+		return nil, err
+	}
 	nc := len(configs)
 	budget := opts.MaxExpansions
 	if budget <= 0 {
@@ -144,7 +158,7 @@ func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
 	}
 	for i := p.Stages - 2; i >= 0; i-- {
 		row := make([]float64, nc)
-		parallelFor(sweepWorkers, nc, func(c int) {
+		err := parallelFor(ctx, sweepWorkers, nc, func(c int) {
 			best := math.Inf(1)
 			for j := 0; j < nc; j++ {
 				if v := m.trans[c][j] + m.exec[i+1][j] + h[i+1][j]; v < best {
@@ -153,6 +167,9 @@ func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
 			}
 			row[c] = best
 		})
+		if err != nil {
+			return nil, err
+		}
 		h[i] = row
 	}
 
@@ -174,6 +191,11 @@ func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
 		if res.Expansions >= budget {
 			res.Exhausted = true
 			return res, nil
+		}
+		if res.Expansions%rankingCtxCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 		}
 		node := heap.Pop(frontier).(*pathNode)
 		res.Expansions++
@@ -211,8 +233,8 @@ func SolveRanking(p *Problem, opts RankingOptions) (*RankingResult, error) {
 // rankingSolution runs SolveRanking and requires a solution: budget
 // exhaustion becomes a typed error (ErrRankingBudget) instead of a nil
 // solution. Solve's StrategyRanking branch is this.
-func rankingSolution(p *Problem, opts RankingOptions) (*Solution, error) {
-	res, err := SolveRanking(p, opts)
+func rankingSolution(ctx context.Context, p *Problem, opts RankingOptions) (*Solution, error) {
+	res, err := SolveRanking(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -227,8 +249,8 @@ func rankingSolution(p *Problem, opts RankingOptions) (*Solution, error) {
 // and returned directly, otherwise the lowest-cost complete path seen is
 // used as the initial sequence for sequential merging (falling back to
 // the unconstrained optimum when the budget produced no complete path).
-func SolveRankAndMerge(p *Problem, opts RankingOptions) (*Solution, error) {
-	res, err := SolveRanking(p, opts)
+func SolveRankAndMerge(ctx context.Context, p *Problem, opts RankingOptions) (*Solution, error) {
+	res, err := SolveRanking(ctx, p, opts)
 	if err == nil && res.Solution != nil {
 		return res.Solution, nil
 	}
@@ -237,6 +259,6 @@ func SolveRankAndMerge(p *Problem, opts RankingOptions) (*Solution, error) {
 	}
 	// Budget exhausted: merge from the unconstrained optimum, which is
 	// the first path the ranking would have produced anyway.
-	sol, _, err := SolveMergeFromUnconstrained(p)
+	sol, _, err := SolveMergeFromUnconstrained(ctx, p)
 	return sol, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -28,21 +29,27 @@ type matrices struct {
 // given configuration list. The EXEC table (one what-if costing per
 // stage × configuration — the advisor's dominant expense) is filled by
 // a bounded worker pool, as is the TRANS table; each worker owns whole
-// rows, so the result is bit-identical to the serial evaluation.
-func (p *Problem) buildMatrices(configs []Config) *matrices {
+// rows, so the result is bit-identical to the serial evaluation. The
+// build is the solvers' dominant cancellation point: the pool checks the
+// context between rows, and an aborted build returns the cancellation
+// cause (or the *PanicError of a panicking model) instead of tables.
+func (p *Problem) buildMatrices(ctx context.Context, configs []Config) (*matrices, error) {
 	start := time.Now()
 	workers := p.workers()
 	m := &matrices{configs: configs}
 	m.exec = make([][]float64, p.Stages)
-	parallelFor(workers, p.Stages, func(i int) {
+	err := parallelFor(ctx, workers, p.Stages, func(i int) {
 		row := make([]float64, len(configs))
 		for j, c := range configs {
 			row[j] = p.Model.Exec(i, c)
 		}
 		m.exec[i] = row
 	})
+	if err != nil {
+		return nil, err
+	}
 	m.trans = make([][]float64, len(configs))
-	parallelFor(workers, len(configs), func(i int) {
+	err = parallelFor(ctx, workers, len(configs), func(i int) {
 		from := configs[i]
 		row := make([]float64, len(configs))
 		for j, to := range configs {
@@ -54,6 +61,9 @@ func (p *Problem) buildMatrices(configs []Config) *matrices {
 		}
 		m.trans[i] = row
 	})
+	if err != nil {
+		return nil, err
+	}
 	m.initTrans = make([]float64, len(configs))
 	for j, c := range configs {
 		if c == p.Initial {
@@ -73,8 +83,11 @@ func (p *Problem) buildMatrices(configs []Config) *matrices {
 			m.finalTrans[j] = p.Model.Trans(c, *p.Final) + changeEpsilon/2
 		}
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	p.Metrics.noteMatrixBuild(time.Since(start))
-	return m
+	return m, nil
 }
 
 // BuildCostTables forces one full evaluation of the dense EXEC/TRANS
@@ -82,7 +95,7 @@ func (p *Problem) buildMatrices(configs []Config) *matrices {
 // preprocessing every graph solver performs implicitly. It is exposed
 // so benchmarks and diagnostics can measure the costing layer in
 // isolation; regular callers just Solve.
-func (p *Problem) BuildCostTables() error {
+func (p *Problem) BuildCostTables(ctx context.Context) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -90,16 +103,18 @@ func (p *Problem) BuildCostTables() error {
 	if err != nil {
 		return err
 	}
-	p.buildMatrices(configs)
-	return nil
+	_, err = p.buildMatrices(ctx, configs)
+	return err
 }
 
 // SolveUnconstrained finds the optimal dynamic physical design with no
 // change bound: the shortest path through the sequence graph of Agrawal,
 // Chu and Narasayya. The sequence graph is a DAG with one node per
 // (stage, configuration); the shortest path is computed stage by stage
-// in O(n·m²) for m candidate configurations.
-func SolveUnconstrained(p *Problem) (*Solution, error) {
+// in O(n·m²) for m candidate configurations. The stage sweep checks the
+// context between stages, so cancellation latency is bounded by one
+// O(m²) relaxation.
+func SolveUnconstrained(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,7 +122,10 @@ func SolveUnconstrained(p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := p.buildMatrices(configs)
+	m, err := p.buildMatrices(ctx, configs)
+	if err != nil {
+		return nil, err
+	}
 	nc := len(configs)
 
 	cost := make([]float64, nc)
@@ -117,6 +135,9 @@ func SolveUnconstrained(p *Problem) (*Solution, error) {
 	parents := make([][]int32, p.Stages)
 	next := make([]float64, nc)
 	for i := 1; i < p.Stages; i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		parent := make([]int32, nc)
 		for j := 0; j < nc; j++ {
 			best := math.Inf(1)

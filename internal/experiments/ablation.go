@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -21,12 +22,12 @@ type QualityVsK struct {
 }
 
 // RunQualityVsK computes the quality curve on the W1 problem.
-func RunQualityVsK(t2 *Table2Result) (*QualityVsK, error) {
+func RunQualityVsK(ctx context.Context, t2 *Table2Result) (*QualityVsK, error) {
 	base, _, err := t2.Advisor.Problem(t2.W1, PaperOptions(core.Unconstrained))
 	if err != nil {
 		return nil, err
 	}
-	unc, err := core.SolveUnconstrained(base)
+	unc, err := core.SolveUnconstrained(ctx, base)
 	if err != nil {
 		return nil, err
 	}
@@ -36,10 +37,10 @@ func RunQualityVsK(t2 *Table2Result) (*QualityVsK, error) {
 	// across cores; slot k of each slice belongs to cell k.
 	res.Ks = make([]int, unc.Changes+1)
 	res.RelativeCost = make([]float64, unc.Changes+1)
-	err = fanOut(unc.Changes+1, func(k int) error {
+	err = fanOut(ctx, unc.Changes+1, func(k int) error {
 		pk := *base
 		pk.K = k
-		sol, err := core.SolveKAware(&pk)
+		sol, err := core.SolveKAware(ctx, &pk)
 		if err != nil {
 			return err
 		}
@@ -78,12 +79,12 @@ type RankingAblation struct {
 
 // RunRankingAblation runs the ranking optimizer over the W1 problem for
 // each k, with a bounded expansion budget.
-func RunRankingAblation(t2 *Table2Result, ks []int, budget int) (*RankingAblation, error) {
+func RunRankingAblation(ctx context.Context, t2 *Table2Result, ks []int, budget int) (*RankingAblation, error) {
 	base, _, err := t2.Advisor.Problem(t2.W1, PaperOptions(core.Unconstrained))
 	if err != nil {
 		return nil, err
 	}
-	if _, err := core.SolveUnconstrained(base); err != nil { // warm the memo
+	if _, err := core.SolveUnconstrained(ctx, base); err != nil { // warm the memo
 		return nil, err
 	}
 	res := &RankingAblation{
@@ -97,12 +98,12 @@ func RunRankingAblation(t2 *Table2Result, ks []int, budget int) (*RankingAblatio
 	// indicative under contention (the experiment's primary output is
 	// the expansion count, which the paper's "quite bad" prediction is
 	// about).
-	err = fanOut(len(ks), func(i int) error {
+	err = fanOut(ctx, len(ks), func(i int) error {
 		pk := *base
 		pk.K = ks[i]
 
 		start := time.Now()
-		plain, err := core.SolveRanking(&pk, core.RankingOptions{MaxExpansions: budget})
+		plain, err := core.SolveRanking(ctx, &pk, core.RankingOptions{MaxExpansions: budget})
 		if err != nil {
 			return err
 		}
@@ -111,7 +112,7 @@ func RunRankingAblation(t2 *Table2Result, ks []int, budget int) (*RankingAblatio
 		res.Exhausted[i] = plain.Exhausted
 
 		start = time.Now()
-		pruned, err := core.SolveRanking(&pk, core.RankingOptions{MaxExpansions: budget, Prune: true})
+		pruned, err := core.SolveRanking(ctx, &pk, core.RankingOptions{MaxExpansions: budget, Prune: true})
 		if err != nil {
 			return err
 		}
@@ -158,12 +159,12 @@ type StrategyComparison struct {
 }
 
 // RunStrategyComparison compares all strategies at one k on W1.
-func RunStrategyComparison(t2 *Table2Result, k int) (*StrategyComparison, error) {
+func RunStrategyComparison(ctx context.Context, t2 *Table2Result, k int) (*StrategyComparison, error) {
 	base, _, err := t2.Advisor.Problem(t2.W1, PaperOptions(k))
 	if err != nil {
 		return nil, err
 	}
-	if _, err := core.SolveUnconstrained(&core.Problem{
+	if _, err := core.SolveUnconstrained(ctx, &core.Problem{
 		Stages: base.Stages, Configs: base.Configs, Initial: base.Initial,
 		Final: base.Final, K: core.Unconstrained, Policy: base.Policy, Model: base.Model,
 	}); err != nil { // warm the memo
@@ -182,7 +183,7 @@ func RunStrategyComparison(t2 *Table2Result, k int) (*StrategyComparison, error)
 		Changes: make([]int, len(strategies)),
 		Times:   make([]time.Duration, len(strategies)),
 	}
-	err = fanOut(len(strategies), func(i int) error {
+	err = fanOut(ctx, len(strategies), func(i int) error {
 		s := strategies[i]
 		start := time.Now()
 		var sol *core.Solution
@@ -192,12 +193,12 @@ func RunStrategyComparison(t2 *Table2Result, k int) (*StrategyComparison, error)
 			// warns; run it with a budget and report exhaustion rather
 			// than hanging.
 			var rr *core.RankingResult
-			rr, err = core.SolveRanking(base, core.RankingOptions{MaxExpansions: 2_000_000})
+			rr, err = core.SolveRanking(ctx, base, core.RankingOptions{MaxExpansions: 2_000_000})
 			if err == nil {
 				sol = rr.Solution // nil when exhausted
 			}
 		} else {
-			sol, err = core.Solve(base, s)
+			sol, err = core.Solve(ctx, base, s)
 		}
 		if err != nil {
 			return fmt.Errorf("experiments: strategy %s: %w", s, err)
@@ -251,7 +252,7 @@ type PolicyAblation struct {
 }
 
 // RunPolicyAblation computes both policies' optima across k.
-func RunPolicyAblation(t2 *Table2Result, ks []int) (*PolicyAblation, error) {
+func RunPolicyAblation(ctx context.Context, t2 *Table2Result, ks []int) (*PolicyAblation, error) {
 	res := &PolicyAblation{
 		Ks:       ks,
 		FreeCost: make([]float64, len(ks)), StrictCost: make([]float64, len(ks)),
@@ -259,13 +260,13 @@ func RunPolicyAblation(t2 *Table2Result, ks []int) (*PolicyAblation, error) {
 	}
 	// (k × policy) cells are independent; both policies of one k share
 	// a cell so the fan-out stays coarse-grained.
-	err := fanOut(len(ks), func(i int) error {
+	err := fanOut(ctx, len(ks), func(i int) error {
 		opts := PaperOptions(ks[i])
 		pFree, _, err := t2.Advisor.Problem(t2.W1, opts)
 		if err != nil {
 			return err
 		}
-		solFree, err := core.SolveKAware(pFree)
+		solFree, err := core.SolveKAware(ctx, pFree)
 		if err != nil {
 			return err
 		}
@@ -274,7 +275,7 @@ func RunPolicyAblation(t2 *Table2Result, ks []int) (*PolicyAblation, error) {
 		if err != nil {
 			return err
 		}
-		solStrict, err := core.SolveKAware(pStrict)
+		solStrict, err := core.SolveKAware(ctx, pStrict)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,10 +22,10 @@ type EstimateVsMeasured struct {
 }
 
 // RunEstimateVsMeasured sweeps k on W1 and replays each recommendation.
-func RunEstimateVsMeasured(t2 *Table2Result, ks []int) (*EstimateVsMeasured, error) {
+func RunEstimateVsMeasured(ctx context.Context, t2 *Table2Result, ks []int) (*EstimateVsMeasured, error) {
 	res := &EstimateVsMeasured{}
 	for _, k := range ks {
-		rec, err := t2.Advisor.Recommend(t2.W1, PaperOptions(k))
+		rec, err := t2.Advisor.RecommendContext(ctx, t2.W1, PaperOptions(k))
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"dyndesign/internal/core"
 )
+
+// bg is the context used by tests that don't exercise cancellation.
+var bg = context.Background()
 
 // table2 is computed once and shared: it is the expensive fixture every
 // experiment test builds on.
@@ -14,7 +18,7 @@ var sharedT2 *Table2Result
 func getTable2(t *testing.T) *Table2Result {
 	t.Helper()
 	if sharedT2 == nil {
-		res, err := RunTable2(TestScale)
+		res, err := RunTable2(bg, TestScale)
 		if err != nil {
 			t.Fatalf("RunTable2: %v", err)
 		}
@@ -113,7 +117,7 @@ func TestFigure3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure 3 executes 6 full workload replays")
 	}
-	res, err := RunFigure3(getTable2(t))
+	res, err := RunFigure3(bg, getTable2(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +158,7 @@ func TestFigure4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure 4 is a timing experiment")
 	}
-	res, err := RunFigure4(getTable2(t), []int{2, 8, 14})
+	res, err := RunFigure4(bg, getTable2(t), []int{2, 8, 14})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +216,7 @@ func TestPaperOptions(t *testing.T) {
 // read phases, the optimal dynamic design holds no index during the
 // load.
 func TestWriteLoadDropsIndexForBulkInserts(t *testing.T) {
-	res, err := RunWriteLoad(TestScale)
+	res, err := RunWriteLoad(bg, TestScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +245,7 @@ func TestAblationHarnesses(t *testing.T) {
 		t.Skip("ablations re-solve many problems")
 	}
 	t2 := getTable2(t)
-	quality, err := RunQualityVsK(t2)
+	quality, err := RunQualityVsK(bg, t2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +262,7 @@ func TestAblationHarnesses(t *testing.T) {
 		t.Errorf("quality at k=l is %f, want 1.0", last)
 	}
 
-	strat, err := RunStrategyComparison(t2, 2)
+	strat, err := RunStrategyComparison(bg, t2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +275,7 @@ func TestAblationHarnesses(t *testing.T) {
 		}
 	}
 
-	policy, err := RunPolicyAblation(t2, []int{0, 2})
+	policy, err := RunPolicyAblation(bg, t2, []int{0, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +287,7 @@ func TestAblationHarnesses(t *testing.T) {
 		}
 	}
 
-	ranking, err := RunRankingAblation(t2, []int{14}, 500000)
+	ranking, err := RunRankingAblation(bg, t2, []int{14}, 500000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +311,7 @@ func TestEstimateVsMeasured(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replays the workload per k")
 	}
-	res, err := RunEstimateVsMeasured(getTable2(t), []int{0, 2, 14})
+	res, err := RunEstimateVsMeasured(bg, getTable2(t), []int{0, 2, 14})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,15 +14,19 @@ import (
 // results only to index-distinct slots, so output order is
 // deterministic regardless of scheduling. The first error (or a
 // panic, converted to an error) aborts the remaining cells and is
-// returned. With one CPU it degenerates to a plain serial loop, which
-// keeps timing-sensitive cells undistorted on small machines.
-func fanOut(n int, fn func(i int) error) error {
+// returned; cancelling ctx aborts before the next cell starts. With
+// one CPU it degenerates to a plain serial loop, which keeps
+// timing-sensitive cells undistorted on small machines.
+func fanOut(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -44,6 +49,10 @@ func fanOut(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for !abort.Load() {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

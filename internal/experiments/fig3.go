@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,7 +42,7 @@ func (r *Figure3Result) Entry(workloadName, design string) *Figure3Entry {
 // design change points and counting every logical page access. The
 // designs are the ones recommended for W1; W2 and W3 run under them
 // unchanged, which is the point of the experiment.
-func RunFigure3(t2 *Table2Result) (*Figure3Result, error) {
+func RunFigure3(ctx context.Context, t2 *Table2Result) (*Figure3Result, error) {
 	res := &Figure3Result{}
 	designs := []struct {
 		name string
@@ -59,6 +60,9 @@ func RunFigure3(t2 *Table2Result) (*Figure3Result, error) {
 	for _, d := range designs {
 		perStmt := d.rec.PerStatement()
 		for _, wl := range workloads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			report, err := advisor.Replay(t2.DB, wl.w, d.rec, perStmt)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: replaying %s under %s design: %w", wl.name, d.name, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -26,13 +27,19 @@ type Figure4Result struct {
 
 // timeIt measures fn with enough repetitions for a stable reading: at
 // least 3 runs and at least ~50 ms of total work, reporting the minimum.
-func timeIt(fn func()) time.Duration {
-	fn() // warm up
+// The first error (a fault or a cancellation mid-rep) aborts the
+// measurement.
+func timeIt(fn func() error) (time.Duration, error) {
+	if err := fn(); err != nil { // warm up
+		return 0, err
+	}
 	best := time.Duration(1<<62 - 1)
 	total := time.Duration(0)
 	for reps := 0; reps < 3 || total < 50*time.Millisecond; reps++ {
 		start := time.Now()
-		fn()
+		if err := fn(); err != nil {
+			return 0, err
+		}
 		d := time.Since(start)
 		if d < best {
 			best = d
@@ -42,7 +49,7 @@ func timeIt(fn func()) time.Duration {
 			break
 		}
 	}
-	return best
+	return best, nil
 }
 
 // RunFigure4 times the k-aware-graph optimizer and the sequential
@@ -53,7 +60,7 @@ func timeIt(fn func()) time.Duration {
 // way the paper's does. Merging runs in its faithful mode (segment costs
 // re-summed per evaluation, the complexity the paper states); the
 // memoized variant is covered by the ablation benchmarks.
-func RunFigure4(t2 *Table2Result, ks []int) (*Figure4Result, error) {
+func RunFigure4(ctx context.Context, t2 *Table2Result, ks []int) (*Figure4Result, error) {
 	if len(ks) == 0 {
 		for k := 2; k <= 18; k += 2 {
 			ks = append(ks, k)
@@ -65,7 +72,7 @@ func RunFigure4(t2 *Table2Result, ks []int) (*Figure4Result, error) {
 	}
 	// Warm the what-if memo so timing measures graph work, not cost
 	// model evaluation.
-	seed, err := core.SolveUnconstrained(base)
+	seed, err := core.SolveUnconstrained(ctx, base)
 	if err != nil {
 		return nil, err
 	}
@@ -73,11 +80,13 @@ func RunFigure4(t2 *Table2Result, ks []int) (*Figure4Result, error) {
 		Ks:                   ks,
 		UnconstrainedChanges: seed.Changes,
 	}
-	res.Unconstrained = timeIt(func() {
-		if _, err := core.SolveUnconstrained(base); err != nil {
-			panic(err)
-		}
+	res.Unconstrained, err = timeIt(func() error {
+		_, err := core.SolveUnconstrained(ctx, base)
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// The per-k cells are independent and share the warmed what-if
 	// memo, so they fan out across cores. Each cell reports the
@@ -88,23 +97,27 @@ func RunFigure4(t2 *Table2Result, ks []int) (*Figure4Result, error) {
 	// relative growth shapes, which minima preserve.
 	res.KAwareRel = make([]float64, len(ks))
 	res.MergeRel = make([]float64, len(ks))
-	err = fanOut(len(ks), func(i int) error {
+	err = fanOut(ctx, len(ks), func(i int) error {
 		pk := *base
 		pk.K = ks[i]
-		dK := timeIt(func() {
-			if _, err := core.SolveKAware(&pk); err != nil {
-				panic(err)
-			}
+		dK, err := timeIt(func() error {
+			_, err := core.SolveKAware(ctx, &pk)
+			return err
 		})
-		dM := timeIt(func() {
-			s, err := core.SolveUnconstrained(&pk)
+		if err != nil {
+			return err
+		}
+		dM, err := timeIt(func() error {
+			s, err := core.SolveUnconstrained(ctx, &pk)
 			if err != nil {
-				panic(err)
+				return err
 			}
-			if _, _, err := core.SolveMergeOpts(&pk, s, core.MergeOptions{}); err != nil {
-				panic(err)
-			}
+			_, _, err = core.SolveMergeOpts(ctx, &pk, s, core.MergeOptions{})
+			return err
 		})
+		if err != nil {
+			return err
+		}
 		res.KAwareRel[i] = float64(dK) / float64(res.Unconstrained)
 		res.MergeRel[i] = float64(dM) / float64(res.Unconstrained)
 		return nil

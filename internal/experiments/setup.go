@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"time"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -104,13 +106,34 @@ func emptyFinal() *core.Config {
 	return &f
 }
 
+// Robustness is the solver robustness configuration applied to every
+// advisor run the harness makes (via PaperOptions). The paperexp CLI
+// sets it from -timeout, -max-whatif, and -fallback; the zero value
+// means plain, unsupervised solves.
+type Robustness struct {
+	Timeout        time.Duration
+	MaxWhatIfCalls int64
+	Fallback       bool
+}
+
+// robustness is the harness-wide robustness setting; see SetRobustness.
+var robustness Robustness
+
+// SetRobustness installs the robustness configuration for subsequent
+// experiment runs. It is not safe to call concurrently with a running
+// experiment; set it once at startup.
+func SetRobustness(r Robustness) { robustness = r }
+
 // PaperOptions returns the advisor options of the paper's experiments:
 // initial and final configuration empty, FreeEndpoints counting, and the
-// given change bound.
+// given change bound, plus the harness-wide robustness settings.
 func PaperOptions(k int) advisor.Options {
 	return advisor.Options{
-		K:      k,
-		Policy: core.FreeEndpoints,
-		Final:  emptyFinal(),
+		K:              k,
+		Policy:         core.FreeEndpoints,
+		Final:          emptyFinal(),
+		Timeout:        robustness.Timeout,
+		MaxWhatIfCalls: robustness.MaxWhatIfCalls,
+		Fallback:       robustness.Fallback,
 	}
 }

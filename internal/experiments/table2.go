@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -50,7 +51,7 @@ func formatDesign(c core.Config, names []string) string {
 // RunTable2 reproduces Table 2 at the given scale: it loads the table,
 // generates W1/W2/W3, recommends designs for W1 with k = ∞ and k = 2,
 // and tabulates the per-block mixes and designs.
-func RunTable2(s Scale) (*Table2Result, error) {
+func RunTable2(ctx context.Context, s Scale) (*Table2Result, error) {
 	db, err := SetupPaperDatabase(s)
 	if err != nil {
 		return nil, err
@@ -59,7 +60,7 @@ func RunTable2(s Scale) (*Table2Result, error) {
 	// its own slot.
 	wnames := []string{"W1", "W2", "W3"}
 	ws := make([]*workload.Workload, len(wnames))
-	err = fanOut(len(wnames), func(i int) error {
+	err = fanOut(ctx, len(wnames), func(i int) error {
 		w, err := workload.PaperWorkload(wnames[i], s.Rows, s.BlockSize, s.Seed+100*int64(i+1))
 		ws[i] = w
 		return err
@@ -77,8 +78,8 @@ func RunTable2(s Scale) (*Table2Result, error) {
 	// read-only), so they run concurrently too.
 	recKs := []int{core.Unconstrained, 2}
 	recs := make([]*advisor.Recommendation, len(recKs))
-	err = fanOut(len(recKs), func(i int) error {
-		rec, err := adv.Recommend(w1, PaperOptions(recKs[i]))
+	err = fanOut(ctx, len(recKs), func(i int) error {
+		rec, err := adv.RecommendContext(ctx, w1, PaperOptions(recKs[i]))
 		recs[i] = rec
 		return err
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -31,7 +32,7 @@ type WriteLoadResult struct {
 
 // RunWriteLoad builds the read/load/read workload and recommends designs
 // for it.
-func RunWriteLoad(s Scale) (*WriteLoadResult, error) {
+func RunWriteLoad(ctx context.Context, s Scale) (*WriteLoadResult, error) {
 	db, err := SetupPaperDatabase(s)
 	if err != nil {
 		return nil, err
@@ -63,11 +64,11 @@ func RunWriteLoad(s Scale) (*WriteLoadResult, error) {
 	}
 	w.Append("A", reads2...)
 
-	unc, err := adv.Recommend(w, PaperOptions(core.Unconstrained))
+	unc, err := adv.RecommendContext(ctx, w, PaperOptions(core.Unconstrained))
 	if err != nil {
 		return nil, err
 	}
-	con, err := adv.Recommend(w, PaperOptions(2))
+	con, err := adv.RecommendContext(ctx, w, PaperOptions(2))
 	if err != nil {
 		return nil, err
 	}

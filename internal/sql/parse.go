@@ -31,7 +31,9 @@ func Parse(input string) (Statement, error) {
 	return stmt, nil
 }
 
-// MustParse is Parse that panics on error, for fixtures and tests.
+// MustParse is Parse that panics on error. It is for tests, fixtures,
+// and hard-coded statements only; library code parsing external input
+// must use Parse and handle the error.
 func MustParse(input string) Statement {
 	s, err := Parse(input)
 	if err != nil {

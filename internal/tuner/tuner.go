@@ -13,6 +13,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,7 +44,7 @@ type KChoice struct {
 // remaining trace; the k minimizing the mean held-out cost wins. All
 // traces must have the same length. At least two traces are required —
 // with one, use ElbowK.
-func CrossValidateK(adv *advisor.Advisor, traces []*workload.Workload, opts advisor.Options, maxK int) (*KChoice, error) {
+func CrossValidateK(ctx context.Context, adv *advisor.Advisor, traces []*workload.Workload, opts advisor.Options, maxK int) (*KChoice, error) {
 	if len(traces) < 2 {
 		return nil, fmt.Errorf("tuner: cross-validation needs at least 2 traces, got %d", len(traces))
 	}
@@ -53,9 +54,12 @@ func CrossValidateK(adv *advisor.Advisor, traces []*workload.Workload, opts advi
 	choice := &KChoice{Method: "cross-validation", K: 0}
 	best := math.Inf(1)
 	for k := 0; k <= maxK; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		o := opts
 		o.K = k
-		rec, err := adv.Recommend(traces[0], o)
+		rec, err := adv.RecommendContext(ctx, traces[0], o)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +95,7 @@ const DefaultCaptureFraction = 0.6
 // captureFrac defaults to DefaultCaptureFraction when <= 0; maxK caps
 // the search (the unconstrained optimum's change count also caps it
 // naturally).
-func ElbowK(adv *advisor.Advisor, trace *workload.Workload, opts advisor.Options, maxK int, captureFrac float64) (*KChoice, error) {
+func ElbowK(ctx context.Context, adv *advisor.Advisor, trace *workload.Workload, opts advisor.Options, maxK int, captureFrac float64) (*KChoice, error) {
 	if captureFrac <= 0 {
 		captureFrac = DefaultCaptureFraction
 	}
@@ -100,7 +104,7 @@ func ElbowK(adv *advisor.Advisor, trace *workload.Workload, opts advisor.Options
 	}
 	o := opts
 	o.K = core.Unconstrained
-	unc, err := adv.Recommend(trace, o)
+	unc, err := adv.RecommendContext(ctx, trace, o)
 	if err != nil {
 		return nil, err
 	}
@@ -112,8 +116,11 @@ func ElbowK(adv *advisor.Advisor, trace *workload.Workload, opts advisor.Options
 	var staticCost float64
 	chosen := false
 	for k := 0; k <= limit; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		o.K = k
-		rec, err := adv.Recommend(trace, o)
+		rec, err := adv.RecommendContext(ctx, trace, o)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,6 +14,9 @@ import (
 	"dyndesign/internal/engine"
 	"dyndesign/internal/workload"
 )
+
+// bg is the context used by tests that don't exercise cancellation.
+var bg = context.Background()
 
 const (
 	testRows  = 30000
@@ -73,7 +77,7 @@ func opts() advisor.Options {
 
 func TestCrossValidateKPrefersModerateK(t *testing.T) {
 	adv, traces := fixture(t)
-	choice, err := CrossValidateK(adv, traces, opts(), 8)
+	choice, err := CrossValidateK(bg, adv, traces, opts(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,21 +115,21 @@ func TestCrossValidateKPrefersModerateK(t *testing.T) {
 
 func TestCrossValidateKValidation(t *testing.T) {
 	adv, traces := fixture(t)
-	if _, err := CrossValidateK(adv, traces[:1], opts(), 4); err == nil {
+	if _, err := CrossValidateK(bg, adv, traces[:1], opts(), 4); err == nil {
 		t.Error("single trace accepted")
 	}
-	if _, err := CrossValidateK(adv, traces, opts(), -1); err == nil {
+	if _, err := CrossValidateK(bg, adv, traces, opts(), -1); err == nil {
 		t.Error("negative maxK accepted")
 	}
 	short := traces[1].Slice(0, 100)
-	if _, err := CrossValidateK(adv, []*workload.Workload{traces[0], short}, opts(), 2); err == nil {
+	if _, err := CrossValidateK(bg, adv, []*workload.Workload{traces[0], short}, opts(), 2); err == nil {
 		t.Error("length mismatch accepted")
 	}
 }
 
 func TestElbowKCapturesMajorShifts(t *testing.T) {
 	adv, traces := fixture(t)
-	choice, err := ElbowK(adv, traces[0], opts(), -1, 0.6)
+	choice, err := ElbowK(bg, adv, traces[0], opts(), -1, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +153,7 @@ func TestElbowKExtremes(t *testing.T) {
 	adv, traces := fixture(t)
 	// Capture fraction 1.0: must go all the way to the unconstrained
 	// optimum's change count (within maxK).
-	choice, err := ElbowK(adv, traces[0], opts(), 4, 1.0)
+	choice, err := ElbowK(bg, adv, traces[0], opts(), 4, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,14 +162,14 @@ func TestElbowKExtremes(t *testing.T) {
 	}
 	// Tiny fraction: the first k with any improvement at all wins, which
 	// is at most the major-shift k.
-	choice, err = ElbowK(adv, traces[0], opts(), -1, 1e-9)
+	choice, err = ElbowK(bg, adv, traces[0], opts(), -1, 1e-9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if choice.K > 2 {
 		t.Errorf("epsilon capture chose %d", choice.K)
 	}
-	if _, err := ElbowK(adv, traces[0], opts(), -1, 1.5); err == nil {
+	if _, err := ElbowK(bg, adv, traces[0], opts(), -1, 1.5); err == nil {
 		t.Error("capture fraction > 1 accepted")
 	}
 }

@@ -30,7 +30,9 @@ func NewStatement(text string) (Statement, error) {
 	return Statement{SQL: text, Stmt: stmt}, nil
 }
 
-// MustStatement is NewStatement that panics on error.
+// MustStatement is NewStatement that panics on error. It is for tests,
+// fixtures, and hard-coded statements only; library code handling
+// external traces must use NewStatement and return the error.
 func MustStatement(text string) Statement {
 	s, err := NewStatement(text)
 	if err != nil {

@@ -1,6 +1,7 @@
 package dyndesign
 
 import (
+	"context"
 	"io"
 
 	"dyndesign/internal/alerter"
@@ -24,14 +25,26 @@ type KChoice = tuner.KChoice
 // CrossValidateK chooses k by recommending on the first trace and
 // validating on the others; it needs at least two representative traces.
 func CrossValidateK(adv *Advisor, traces []*Workload, opts Options, maxK int) (*KChoice, error) {
-	return tuner.CrossValidateK(adv, traces, opts, maxK)
+	return tuner.CrossValidateK(context.Background(), adv, traces, opts, maxK)
+}
+
+// CrossValidateKContext is CrossValidateK with cooperative
+// cancellation across the per-k recommendation sweep.
+func CrossValidateKContext(ctx context.Context, adv *Advisor, traces []*Workload, opts Options, maxK int) (*KChoice, error) {
+	return tuner.CrossValidateK(ctx, adv, traces, opts, maxK)
 }
 
 // ElbowK chooses k from a single trace: the smallest k capturing
 // captureFrac of the improvement attainable between the static design
 // and the unconstrained optimum (default 0.6 when <= 0).
 func ElbowK(adv *Advisor, trace *Workload, opts Options, maxK int, captureFrac float64) (*KChoice, error) {
-	return tuner.ElbowK(adv, trace, opts, maxK, captureFrac)
+	return tuner.ElbowK(context.Background(), adv, trace, opts, maxK, captureFrac)
+}
+
+// ElbowKContext is ElbowK with cooperative cancellation across the
+// per-k recommendation sweep.
+func ElbowKContext(ctx context.Context, adv *Advisor, trace *Workload, opts Options, maxK int, captureFrac float64) (*KChoice, error) {
+	return tuner.ElbowK(ctx, adv, trace, opts, maxK, captureFrac)
 }
 
 // --- Drift alerting ---------------------------------------------------------
