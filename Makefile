@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos lint tier1
+# COVER_FLOOR is the minimum statement coverage of internal/core (the
+# solver layer) that cover-check accepts; it sits a few points below
+# the current ~89% so routine churn passes but a big untested addition
+# fails.
+COVER_FLOOR ?= 85.0
+
+.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1
 
 all: tier1
 
@@ -19,7 +25,23 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-check produces a machine-readable BENCH_<date>.json over the
+# strategy × n × m × k grid and fails on a >25% ns/op regression
+# against the committed baseline (normalized for machine speed by the
+# calibration cell; see cmd/benchreport). Refresh the baseline with:
+#   go run ./cmd/benchreport -o bench/baseline.json
+bench-check:
+	$(GO) run ./cmd/benchreport -check -baseline bench/baseline.json -o BENCH_$$(date -u +%Y-%m-%d).json
+
+# cover-check enforces the coverage floor on the solver layer.
+cover-check:
+	$(GO) test -coverprofile=cover.out ./internal/core/
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	rm -f cover.out; \
+	echo "internal/core coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }'
 
 # The chaos suite stress-tests the resilient solve supervisor under
 # deterministic fault injection (errors, panics, latency; one-shot and

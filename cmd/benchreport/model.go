@@ -1,0 +1,116 @@
+package main
+
+import (
+	"sync"
+
+	"dyndesign/internal/core"
+)
+
+// syntheticModel is a deterministic phase-structured cost model in the
+// shape of the paper's workloads: the stage sequence is divided into
+// phases, each phase prefers one index, queries are much cheaper under
+// the preferred index, and transitions charge per structure built or
+// dropped. The structure matters: on i.i.d.-random costs the ranking
+// optimizer degenerates to its small-k worst case (budget exhaustion),
+// whereas phase-structured costs keep every strategy on its typical
+// path — which is what a regression gate should time.
+//
+// The model memoizes evaluations behind a mutex and counts calls and
+// memo hits, standing in for the advisor's what-if cache: calls map to
+// what-if optimizer invocations, hits to cache hits. It is safe for
+// concurrent use, as CostModel requires.
+type syntheticModel struct {
+	n, m   int
+	phases int
+
+	mu    sync.Mutex
+	exec  map[execKey]float64
+	calls int64
+	hits  int64
+}
+
+type execKey struct {
+	stage int
+	c     core.Config
+}
+
+const benchSeed = 0x9e3779b97f4a7c15
+
+// splitmix64 is the standard 64-bit mixer; deterministic noise source.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func newSyntheticModel(n, m, phases int) *syntheticModel {
+	return &syntheticModel{
+		n: n, m: m,
+		phases: phases,
+		exec:   make(map[execKey]float64, n*m),
+	}
+}
+
+// configs returns the candidate list: the empty design plus one
+// single-index configuration per structure, the paper's design space
+// shape.
+func (sm *syntheticModel) configs() []core.Config {
+	out := make([]core.Config, 0, sm.m)
+	out = append(out, core.Config(0))
+	for s := 0; s < sm.m-1; s++ {
+		out = append(out, core.ConfigOf(s))
+	}
+	return out
+}
+
+// preferred returns the index structure the stage's phase favors.
+func (sm *syntheticModel) preferred(stage int) int {
+	phase := stage * sm.phases / sm.n
+	return int(splitmix64(benchSeed^uint64(phase)) % uint64(sm.m-1))
+}
+
+// Exec returns a low cost under the phase's preferred index and a high
+// scan-like cost otherwise, with deterministic per-(stage, config)
+// noise so no two cells are ever exactly tied.
+func (sm *syntheticModel) Exec(stage int, c core.Config) float64 {
+	key := execKey{stage, c}
+	sm.mu.Lock()
+	sm.calls++
+	if v, ok := sm.exec[key]; ok {
+		sm.hits++
+		sm.mu.Unlock()
+		return v
+	}
+	sm.mu.Unlock()
+
+	base := 100.0
+	if c.Has(sm.preferred(stage)) {
+		base = 10.0
+	}
+	noise := float64(splitmix64(benchSeed^uint64(stage)<<20^uint64(c))%1000) / 500.0
+	v := base + noise
+
+	sm.mu.Lock()
+	sm.exec[key] = v
+	sm.mu.Unlock()
+	return v
+}
+
+// Trans charges a build/drop cost per structure changed; Trans(c, c)
+// is 0 as CostModel requires.
+func (sm *syntheticModel) Trans(from, to core.Config) float64 {
+	added, removed := from.Diff(to)
+	return 40*float64(len(added)) + 5*float64(len(removed))
+}
+
+// Size counts structures; the grid leaves SpaceBound unset, so this
+// only has to be consistent.
+func (sm *syntheticModel) Size(c core.Config) float64 { return float64(c.Count()) }
+
+// stats returns total Exec calls and memo hits so far.
+func (sm *syntheticModel) stats() (calls, hits int64) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.calls, sm.hits
+}

@@ -8,6 +8,13 @@
 //	dyndesign -paper-rows 100000 -trace w1.json -k 2 -strategy hybrid
 //	dyndesign -paper-rows 100000 -trace w1.json -k unconstrained -candidates auto
 //	dyndesign -paper-rows 100000 -trace w1.json -k 2 -timeout 5s -fallback
+//	dyndesign -paper-rows 100000 -trace w1.json -k 2 -trace-out spans.jsonl -metrics-addr :9090
+//
+// -trace-out writes per-stage solver spans as JSONL, -metrics-addr
+// serves Prometheus metrics (plus expvar and pprof), -pprof-addr serves
+// net/http/pprof alone, and -runtime-trace captures a runtime/trace
+// execution trace; see DESIGN.md §9. When span collection is on, a
+// per-stage summary is printed to stderr at exit.
 //
 // -timeout bounds each solver attempt, -max-whatif bounds its what-if
 // evaluations, and -fallback enables the degradation ladder: when the
@@ -37,6 +44,7 @@ import (
 	"dyndesign/internal/core"
 	"dyndesign/internal/engine"
 	"dyndesign/internal/experiments"
+	"dyndesign/internal/obs"
 	"dyndesign/internal/workload"
 )
 
@@ -71,7 +79,23 @@ func run(ctx context.Context) error {
 	timeout := flag.Duration("timeout", 0, "deadline per solver attempt (0 = none)")
 	maxWhatIf := flag.Int64("max-whatif", 0, "what-if evaluation budget per solver attempt (0 = unbounded)")
 	fallback := flag.Bool("fallback", false, "degrade to cheaper strategies when the requested one fails")
+	traceOut := flag.String("trace-out", "", "write solver spans as JSONL to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, expvar, and pprof at this address (e.g. :9090)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof at this address (may equal -metrics-addr)")
+	runtimeTrace := flag.String("runtime-trace", "", "capture a runtime/trace execution trace to this file")
 	flag.Parse()
+
+	tracer, obsTeardown, err := obs.Setup(obs.CLIConfig{
+		TracePath:        *traceOut,
+		MetricsAddr:      *metricsAddr,
+		PprofAddr:        *pprofAddr,
+		RuntimeTracePath: *runtimeTrace,
+		SummaryW:         os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	defer obsTeardown()
 
 	if *tracePath == "" {
 		return fmt.Errorf("-trace is required")
@@ -175,6 +199,7 @@ func run(ctx context.Context) error {
 	opts.Timeout = *timeout
 	opts.MaxWhatIfCalls = *maxWhatIf
 	opts.Fallback = *fallback
+	opts.Tracer = tracer
 
 	adv, err := advisor.New(db, spaceDef)
 	if err != nil {

@@ -16,6 +16,14 @@
 // the degradation ladder). SIGINT or SIGTERM cancels the run at the
 // next solver cancellation point; partial robustness diagnostics are
 // printed for the interrupted solve.
+//
+// -trace writes per-stage solver and experiment spans as JSONL,
+// -metrics-addr serves Prometheus metrics (plus expvar and pprof),
+// -pprof-addr serves net/http/pprof alone, and -runtime-trace captures
+// a runtime/trace execution trace; see DESIGN.md §9. When span
+// collection is on, a per-stage summary is printed to stderr at exit:
+//
+//	paperexp -exp table2 -trace spans.jsonl -metrics-addr :9090
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 
 	"dyndesign/internal/advisor"
 	"dyndesign/internal/experiments"
+	"dyndesign/internal/obs"
 )
 
 func main() {
@@ -45,11 +54,29 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "deadline per solver attempt (0 = none)")
 	maxWhatIf := flag.Int64("max-whatif", 0, "what-if evaluation budget per solver attempt (0 = unbounded)")
 	fallback := flag.Bool("fallback", false, "degrade to cheaper strategies when a solver attempt fails")
+	traceOut := flag.String("trace", "", "write solver and experiment spans as JSONL to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, expvar, and pprof at this address (e.g. :9090)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof at this address (may equal -metrics-addr)")
+	runtimeTrace := flag.String("runtime-trace", "", "capture a runtime/trace execution trace to this file")
 	flag.Parse()
+
+	tracer, obsTeardown, err := obs.Setup(obs.CLIConfig{
+		TracePath:        *traceOut,
+		MetricsAddr:      *metricsAddr,
+		PprofAddr:        *pprofAddr,
+		RuntimeTracePath: *runtimeTrace,
+		SummaryW:         os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsTeardown()
 	experiments.SetRobustness(experiments.Robustness{
 		Timeout:        *timeout,
 		MaxWhatIfCalls: *maxWhatIf,
 		Fallback:       *fallback,
+		Tracer:         tracer,
 	})
 
 	// SIGINT/SIGTERM cancel the context; every experiment checks it at
@@ -59,6 +86,7 @@ func main() {
 	defer stop()
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+		obsTeardown() // os.Exit skips defers; flush traces explicitly
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "paperexp: interrupted — results above are partial\n")
 			os.Exit(130)
@@ -95,8 +123,7 @@ func main() {
 		if asJSON {
 			report.Scale = scale
 			if err := experiments.WriteJSON(os.Stdout, report); err != nil {
-				fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
 		return
@@ -149,6 +176,7 @@ func main() {
 			k, err := strconv.Atoi(part)
 			if err != nil || k < 0 {
 				fmt.Fprintf(os.Stderr, "paperexp: bad -ks entry %q\n", part)
+				obsTeardown()
 				os.Exit(2)
 			}
 			ks = append(ks, k)
@@ -222,8 +250,7 @@ func main() {
 	if asJSON {
 		report.Scale = scale
 		if err := experiments.WriteJSON(os.Stdout, report); err != nil {
-			fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"dyndesign/internal/core"
 	"dyndesign/internal/cost"
 	"dyndesign/internal/engine"
+	"dyndesign/internal/obs"
 	"dyndesign/internal/sql"
 	"dyndesign/internal/workload"
 )
@@ -101,6 +102,13 @@ type Options struct {
 	// sequence adopted (after revalidation) when every solving rung
 	// fails. Only consulted when Fallback is on.
 	LastKnownGood *core.Solution
+
+	// Tracer, when non-nil, receives spans from the whole advisor
+	// pipeline: statement validation and problem assembly
+	// ("advisor.problem"), the end-to-end recommendation
+	// ("advisor.recommend"), and every solver-phase span below them
+	// (DESIGN.md §9). The nil default is the disabled tracer.
+	Tracer *obs.Tracer
 }
 
 // resilient reports whether the options ask for the supervised solve
@@ -276,7 +284,9 @@ func (m *whatIfModel) Size(c core.Config) float64 {
 // Problem assembles the core problem instance for a workload under the
 // given options. It validates every statement against the schema up
 // front.
-func (a *Advisor) Problem(w *workload.Workload, opts Options) (*core.Problem, []workload.Segment, error) {
+func (a *Advisor) Problem(w *workload.Workload, opts Options) (_ *core.Problem, _ []workload.Segment, err error) {
+	sp := opts.Tracer.Start("advisor.problem")
+	defer func() { sp.End(obs.Int("statements", int64(w.Len())), obs.Bool("ok", err == nil)) }()
 	if w.Len() == 0 {
 		return nil, nil, fmt.Errorf("advisor: empty workload")
 	}
@@ -321,6 +331,7 @@ func (a *Advisor) Problem(w *workload.Workload, opts Options) (*core.Problem, []
 		Policy:     opts.Policy,
 		Model:      model,
 		Metrics:    &core.Metrics{},
+		Tracer:     opts.Tracer,
 	}
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -345,7 +356,12 @@ func (a *Advisor) Recommend(w *workload.Workload, opts Options) (*Recommendation
 // was built: it carries the problem, the costing instrumentation, and
 // any rung reports gathered before the failure (its Solution is nil),
 // so an interrupted run can still render partial diagnostics.
-func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload, opts Options) (*Recommendation, error) {
+func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload, opts Options) (rec *Recommendation, err error) {
+	outer := opts.Tracer.Start("advisor.recommend")
+	defer func() {
+		outer.End(obs.String("table", a.space.Table), obs.Int("k", int64(opts.K)),
+			obs.Bool("ok", err == nil))
+	}()
 	p, segs, err := a.Problem(w, opts)
 	if err != nil {
 		return nil, err
@@ -354,7 +370,7 @@ func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload, op
 	if strategy == "" {
 		strategy = core.StrategyKAware
 	}
-	rec := &Recommendation{
+	rec = &Recommendation{
 		Table:          a.space.Table,
 		StructureNames: a.space.StructureNames(),
 		Structures:     a.space.Structures,

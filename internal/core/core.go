@@ -20,6 +20,8 @@ import (
 	"math"
 	"math/bits"
 	"strings"
+
+	"dyndesign/internal/obs"
 )
 
 // Config is a physical design configuration: a bitset over the candidate
@@ -168,6 +170,11 @@ type Problem struct {
 	// Metrics, when non-nil, accumulates solver instrumentation.
 	// Copies of the Problem share the pointer and hence the counters.
 	Metrics *Metrics
+	// Tracer, when non-nil, receives per-stage spans from every solver
+	// phase (matrix builds, DP sweeps, ranking expansion batches, merge
+	// iterations, resilient rungs; see DESIGN.md §9). The nil default is
+	// the disabled tracer and adds zero overhead to the hot paths.
+	Tracer *obs.Tracer
 }
 
 // Solution is a dynamic physical design: one configuration per stage.

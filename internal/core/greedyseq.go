@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"math"
+
+	"dyndesign/internal/obs"
 )
 
 // SolveGreedySeq implements the GREEDY-SEQ-based heuristic of §4.1: the
@@ -35,12 +37,15 @@ func SolveGreedySeq(ctx context.Context, p *Problem) (*Solution, []Config, error
 		allowed[c] = true
 	}
 
+	reduce := p.Tracer.Start(SpanGreedyReduce)
+
 	// Per-stage best configuration by execution cost alone. Each stage
 	// costs every candidate once, so the context check per stage bounds
 	// cancellation latency by m what-if calls.
 	best := make([]Config, p.Stages)
 	for i := 0; i < p.Stages; i++ {
 		if err := ctxErr(ctx); err != nil {
+			reduce.End(obs.Int("reduced", 0), obs.Bool("ok", false))
 			return nil, nil, err
 		}
 		bc := configs[0]
@@ -73,6 +78,8 @@ func SolveGreedySeq(ctx context.Context, p *Problem) (*Solution, []Config, error
 			add(best[i-1] | c) // union of consecutive distinct bests
 		}
 	}
+
+	reduce.End(obs.Int("reduced", int64(len(reduced))), obs.Bool("ok", true))
 
 	sub := *p
 	sub.Configs = reduced

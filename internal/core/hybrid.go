@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"dyndesign/internal/obs"
 )
 
 // HybridChoice names the technique a hybrid solve actually ran.
@@ -96,7 +98,13 @@ func Strategies() []Strategy {
 // return (deadline, cancel, budget cause) counts as a cancellation and
 // a *PanicError recovered from the worker pool as a recovered panic.
 func Solve(ctx context.Context, p *Problem, strategy Strategy) (*Solution, error) {
+	effective := strategy
+	if effective == "" {
+		effective = StrategyKAware
+	}
+	sp := p.Tracer.Start(SpanSolve)
 	sol, err := solve(ctx, p, strategy)
+	sp.End(obs.String("strategy", string(effective)), obs.Bool("ok", err == nil))
 	if err != nil {
 		var pe *PanicError
 		switch {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"dyndesign/internal/obs"
 )
 
 // SolveKAware finds the optimal change-constrained dynamic physical
@@ -63,6 +65,7 @@ func SolveKAware(ctx context.Context, p *Problem) (*Solution, error) {
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
+		sweep := p.Tracer.Start(SpanKAwareSweep)
 		parent := make([]int32, nc*layers)
 		for x := range next {
 			next[x] = inf
@@ -98,6 +101,7 @@ func SolveKAware(ctx context.Context, p *Problem) (*Solution, error) {
 		}
 		cost, next = next, cost
 		parents[i] = parent
+		sweep.End(obs.Int("stage", int64(i)), obs.Int("layers", int64(layers)), obs.Int("configs", int64(nc)))
 	}
 
 	bestCfg, bestLayer := -1, -1

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"dyndesign/internal/obs"
 )
 
 // SolveMerge implements sequential design merging (§4.2): starting from
@@ -120,17 +122,20 @@ func SolveMergeOpts(ctx context.Context, p *Problem, initial *Solution, opts Mer
 
 	steps := 0
 	for changes() > p.K {
+		step := p.Tracer.Start(SpanMergeStep)
 		if len(runs) == 1 {
 			// Only possible under CountAll with K == 0: the whole
 			// sequence must stay on the initial configuration — which
 			// is only feasible when that configuration is itself in
 			// the usable (space-bound-filtered) candidate set.
 			if _, ok := cfgIndex[p.Initial]; !ok {
+				step.End(obs.Int("step", int64(steps)), obs.Bool("ok", false))
 				return nil, steps, fmt.Errorf(
 					"core: no design with at most %d changes exists under %s: the initial configuration is outside the usable candidate set",
 					p.K, p.Policy)
 			}
 			runs[0].cfg = p.Initial
+			step.End(obs.Int("step", int64(steps)), obs.Bool("ok", true))
 			break
 		}
 		bestPenalty := math.Inf(1)
@@ -138,6 +143,7 @@ func SolveMergeOpts(ctx context.Context, p *Problem, initial *Solution, opts Mer
 		var bestCfg Config
 		for r := 0; r+1 < len(runs); r++ {
 			if err := ctxErr(ctx); err != nil {
+				step.End(obs.Int("step", int64(steps)), obs.Bool("ok", false))
 				return nil, steps, err
 			}
 			left, right := runs[r], runs[r+1]
@@ -173,6 +179,7 @@ func SolveMergeOpts(ctx context.Context, p *Problem, initial *Solution, opts Mer
 			}
 		}
 		if bestPair < 0 {
+			step.End(obs.Int("step", int64(steps)), obs.Bool("ok", false))
 			return nil, steps, fmt.Errorf("core: merging stalled with %d changes (bound %d)", changes(), p.K)
 		}
 		// Replace the pair with the single best configuration and
@@ -186,6 +193,7 @@ func SolveMergeOpts(ctx context.Context, p *Problem, initial *Solution, opts Mer
 			}
 		}
 		steps++
+		step.End(obs.Int("step", int64(steps)), obs.Int("runs", int64(len(runs))), obs.Bool("ok", true))
 	}
 
 	designs := make([]Config, p.Stages)

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"dyndesign/internal/obs"
 )
 
 // ErrRankingBudget is the typed error surfaced when shortest-path
@@ -146,6 +148,7 @@ func SolveRanking(ctx context.Context, p *Problem, opts RankingOptions) (*Rankin
 	// sets are swept by a worker pool; narrow ones (the paper's 7
 	// configurations) stay on the serial loop, where goroutine overhead
 	// would dwarf the O(nc²) arithmetic.
+	sweep := p.Tracer.Start(SpanRankingSweep)
 	h := make([][]float64, p.Stages)
 	last := make([]float64, nc)
 	if m.finalTrans != nil {
@@ -168,10 +171,12 @@ func SolveRanking(ctx context.Context, p *Problem, opts RankingOptions) (*Rankin
 			row[c] = best
 		})
 		if err != nil {
+			sweep.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)), obs.Bool("ok", false))
 			return nil, err
 		}
 		h[i] = row
 	}
+	sweep.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)), obs.Bool("ok", true))
 
 	frontier := &pathHeap{}
 	for c := 0; c < nc; c++ {
@@ -187,12 +192,28 @@ func SolveRanking(ctx context.Context, p *Problem, opts RankingOptions) (*Rankin
 	}
 
 	res := &RankingResult{}
+	// The enumeration emits one span per rankingCtxCheckInterval frontier
+	// pops — batching keeps the trace proportional to work done, not to
+	// node count — with the running totals attached to each batch.
+	batch := p.Tracer.Start(SpanRankingExpand)
+	batchStart := 0
+	endBatch := func() {
+		batch.End(obs.Int("expansions", int64(res.Expansions-batchStart)),
+			obs.Int("paths_ranked", int64(res.PathsRanked)),
+			obs.Int("frontier", int64(frontier.Len())))
+	}
+	defer endBatch()
 	for frontier.Len() > 0 {
 		if res.Expansions >= budget {
 			res.Exhausted = true
 			return res, nil
 		}
 		if res.Expansions%rankingCtxCheckInterval == 0 {
+			if res.Expansions != batchStart {
+				endBatch()
+				batch = p.Tracer.Start(SpanRankingExpand)
+				batchStart = res.Expansions
+			}
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"dyndesign/internal/obs"
 )
 
 // ErrWhatIfBudget is the cancellation cause installed when a resilient
@@ -211,6 +213,7 @@ func SolveResilient(ctx context.Context, p *Problem, opts ResilientOptions) (*Re
 			rp.Model = &budgetModel{inner: p.Model, budget: opts.MaxWhatIfCalls, cancel: cancel}
 		}
 		start := time.Now()
+		rung := p.Tracer.Start(SpanResilientRung)
 		sol, err := safeSolve(rungCtx, &rp, strat)
 		if ferr := takeModelErr(fallible); ferr != nil && err == nil {
 			err = fmt.Errorf("%w: %w", ErrModelFault, ferr)
@@ -223,6 +226,8 @@ func SolveResilient(ctx context.Context, p *Problem, opts ResilientOptions) (*Re
 				err = fmt.Errorf("%w: verifying %s solution: %w", ErrModelFault, strat, ferr)
 			}
 		}
+		rung.End(obs.String("strategy", string(strat)), obs.Bool("ok", err == nil),
+			obs.String("class", string(classifyFailure(err))))
 		elapsed := time.Since(start)
 		timeoutCancel()
 		cancel(nil)
@@ -238,10 +243,13 @@ func SolveResilient(ctx context.Context, p *Problem, opts ResilientOptions) (*Re
 
 	if opts.LastKnownGood != nil {
 		start := time.Now()
+		rung := p.Tracer.Start(SpanResilientRung)
 		sol, err := p.safeAdopt(opts.LastKnownGood)
 		if ferr := takeModelErr(fallible); ferr != nil && err == nil {
 			err = fmt.Errorf("%w: revalidating last-known-good design: %w", ErrModelFault, ferr)
 		}
+		rung.End(obs.String("strategy", string(RungLastKnownGood)), obs.Bool("ok", err == nil),
+			obs.String("class", string(classifyFailure(err))))
 		elapsed := time.Since(start)
 		if err == nil {
 			res.Reports = append(res.Reports, RungReport{Strategy: RungLastKnownGood, Elapsed: elapsed})

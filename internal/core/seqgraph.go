@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"dyndesign/internal/obs"
 )
 
 // changeEpsilon is a tie-breaking perturbation added to every
@@ -33,17 +35,33 @@ type matrices struct {
 // build is the solvers' dominant cancellation point: the pool checks the
 // context between rows, and an aborted build returns the cancellation
 // cause (or the *PanicError of a panicking model) instead of tables.
-func (p *Problem) buildMatrices(ctx context.Context, configs []Config) (*matrices, error) {
+func (p *Problem) buildMatrices(ctx context.Context, configs []Config) (_ *matrices, err error) {
 	start := time.Now()
+	sp := p.Tracer.Start(SpanMatrixBuild)
+	defer func() {
+		sp.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(len(configs))),
+			obs.Bool("ok", err == nil))
+	}()
 	workers := p.workers()
 	m := &matrices{configs: configs}
 	m.exec = make([][]float64, p.Stages)
-	err := parallelFor(ctx, workers, p.Stages, func(i int) {
+	// The enabled check is hoisted out of the row closure: with the
+	// tracer off, the per-row cost is one branch on a captured bool
+	// instead of span construction, which matters at n rows per build.
+	traced := p.Tracer.Enabled()
+	err = parallelFor(ctx, workers, p.Stages, func(i int) {
+		var rowSpan obs.Span
+		if traced {
+			rowSpan = p.Tracer.Start(SpanMatrixExecStage)
+		}
 		row := make([]float64, len(configs))
 		for j, c := range configs {
 			row[j] = p.Model.Exec(i, c)
 		}
 		m.exec[i] = row
+		if traced {
+			rowSpan.End(obs.Int("stage", int64(i)))
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -127,6 +145,7 @@ func SolveUnconstrained(ctx context.Context, p *Problem) (*Solution, error) {
 		return nil, err
 	}
 	nc := len(configs)
+	dp := p.Tracer.Start(SpanSeqgraphDP)
 
 	cost := make([]float64, nc)
 	for j := 0; j < nc; j++ {
@@ -136,6 +155,7 @@ func SolveUnconstrained(ctx context.Context, p *Problem) (*Solution, error) {
 	next := make([]float64, nc)
 	for i := 1; i < p.Stages; i++ {
 		if err := ctxErr(ctx); err != nil {
+			dp.End(obs.Int("stages", int64(i)), obs.Int("configs", int64(nc)), obs.Bool("ok", false))
 			return nil, err
 		}
 		parent := make([]int32, nc)
@@ -154,6 +174,7 @@ func SolveUnconstrained(ctx context.Context, p *Problem) (*Solution, error) {
 		cost, next = next, cost
 		parents[i] = parent
 	}
+	dp.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)), obs.Bool("ok", true))
 
 	bestEnd := -1
 	bestCost := math.Inf(1)

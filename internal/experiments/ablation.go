@@ -22,7 +22,9 @@ type QualityVsK struct {
 }
 
 // RunQualityVsK computes the quality curve on the W1 problem.
-func RunQualityVsK(ctx context.Context, t2 *Table2Result) (*QualityVsK, error) {
+func RunQualityVsK(ctx context.Context, t2 *Table2Result) (_ *QualityVsK, err error) {
+	end := experimentSpan("quality_vs_k")
+	defer func() { end(err == nil) }()
 	base, _, err := t2.Advisor.Problem(t2.W1, PaperOptions(core.Unconstrained))
 	if err != nil {
 		return nil, err
@@ -79,7 +81,9 @@ type RankingAblation struct {
 
 // RunRankingAblation runs the ranking optimizer over the W1 problem for
 // each k, with a bounded expansion budget.
-func RunRankingAblation(ctx context.Context, t2 *Table2Result, ks []int, budget int) (*RankingAblation, error) {
+func RunRankingAblation(ctx context.Context, t2 *Table2Result, ks []int, budget int) (_ *RankingAblation, err error) {
+	end := experimentSpan("ranking_ablation")
+	defer func() { end(err == nil) }()
 	base, _, err := t2.Advisor.Problem(t2.W1, PaperOptions(core.Unconstrained))
 	if err != nil {
 		return nil, err
@@ -159,7 +163,9 @@ type StrategyComparison struct {
 }
 
 // RunStrategyComparison compares all strategies at one k on W1.
-func RunStrategyComparison(ctx context.Context, t2 *Table2Result, k int) (*StrategyComparison, error) {
+func RunStrategyComparison(ctx context.Context, t2 *Table2Result, k int) (_ *StrategyComparison, err error) {
+	end := experimentSpan("strategy_comparison")
+	defer func() { end(err == nil) }()
 	base, _, err := t2.Advisor.Problem(t2.W1, PaperOptions(k))
 	if err != nil {
 		return nil, err
@@ -252,7 +258,9 @@ type PolicyAblation struct {
 }
 
 // RunPolicyAblation computes both policies' optima across k.
-func RunPolicyAblation(ctx context.Context, t2 *Table2Result, ks []int) (*PolicyAblation, error) {
+func RunPolicyAblation(ctx context.Context, t2 *Table2Result, ks []int) (_ *PolicyAblation, err error) {
+	end := experimentSpan("policy_ablation")
+	defer func() { end(err == nil) }()
 	res := &PolicyAblation{
 		Ks:       ks,
 		FreeCost: make([]float64, len(ks)), StrictCost: make([]float64, len(ks)),
@@ -260,7 +268,7 @@ func RunPolicyAblation(ctx context.Context, t2 *Table2Result, ks []int) (*Policy
 	}
 	// (k × policy) cells are independent; both policies of one k share
 	// a cell so the fan-out stays coarse-grained.
-	err := fanOut(ctx, len(ks), func(i int) error {
+	err = fanOut(ctx, len(ks), func(i int) error {
 		opts := PaperOptions(ks[i])
 		pFree, _, err := t2.Advisor.Problem(t2.W1, opts)
 		if err != nil {

@@ -22,7 +22,9 @@ type EstimateVsMeasured struct {
 }
 
 // RunEstimateVsMeasured sweeps k on W1 and replays each recommendation.
-func RunEstimateVsMeasured(ctx context.Context, t2 *Table2Result, ks []int) (*EstimateVsMeasured, error) {
+func RunEstimateVsMeasured(ctx context.Context, t2 *Table2Result, ks []int) (_ *EstimateVsMeasured, err error) {
+	end := experimentSpan("estimate_vs_measured")
+	defer func() { end(err == nil) }()
 	res := &EstimateVsMeasured{}
 	for _, k := range ks {
 		rec, err := t2.Advisor.RecommendContext(ctx, t2.W1, PaperOptions(k))

@@ -42,7 +42,9 @@ func (r *Figure3Result) Entry(workloadName, design string) *Figure3Entry {
 // design change points and counting every logical page access. The
 // designs are the ones recommended for W1; W2 and W3 run under them
 // unchanged, which is the point of the experiment.
-func RunFigure3(ctx context.Context, t2 *Table2Result) (*Figure3Result, error) {
+func RunFigure3(ctx context.Context, t2 *Table2Result) (_ *Figure3Result, err error) {
+	end := experimentSpan("fig3")
+	defer func() { end(err == nil) }()
 	res := &Figure3Result{}
 	designs := []struct {
 		name string

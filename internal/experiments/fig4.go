@@ -60,7 +60,9 @@ func timeIt(fn func() error) (time.Duration, error) {
 // way the paper's does. Merging runs in its faithful mode (segment costs
 // re-summed per evaluation, the complexity the paper states); the
 // memoized variant is covered by the ablation benchmarks.
-func RunFigure4(ctx context.Context, t2 *Table2Result, ks []int) (*Figure4Result, error) {
+func RunFigure4(ctx context.Context, t2 *Table2Result, ks []int) (_ *Figure4Result, err error) {
+	end := experimentSpan("fig4")
+	defer func() { end(err == nil) }()
 	if len(ks) == 0 {
 		for k := 2; k <= 18; k += 2 {
 			ks = append(ks, k)

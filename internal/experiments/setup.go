@@ -17,6 +17,7 @@ import (
 	"dyndesign/internal/candidates"
 	"dyndesign/internal/core"
 	"dyndesign/internal/engine"
+	"dyndesign/internal/obs"
 	"dyndesign/internal/workload"
 )
 
@@ -114,6 +115,10 @@ type Robustness struct {
 	Timeout        time.Duration
 	MaxWhatIfCalls int64
 	Fallback       bool
+	// Tracer, when non-nil, is threaded into every advisor solve the
+	// harness makes and wrapped around each experiment
+	// ("experiment.<name>" spans); see DESIGN.md §9.
+	Tracer *obs.Tracer
 }
 
 // robustness is the harness-wide robustness setting; see SetRobustness.
@@ -135,5 +140,13 @@ func PaperOptions(k int) advisor.Options {
 		Timeout:        robustness.Timeout,
 		MaxWhatIfCalls: robustness.MaxWhatIfCalls,
 		Fallback:       robustness.Fallback,
+		Tracer:         robustness.Tracer,
 	}
+}
+
+// experimentSpan starts an "experiment.<name>" span on the harness
+// tracer; the returned end function takes success.
+func experimentSpan(name string) func(ok bool) {
+	sp := robustness.Tracer.Start("experiment." + name)
+	return func(ok bool) { sp.End(obs.Bool("ok", ok)) }
 }

@@ -51,7 +51,9 @@ func formatDesign(c core.Config, names []string) string {
 // RunTable2 reproduces Table 2 at the given scale: it loads the table,
 // generates W1/W2/W3, recommends designs for W1 with k = ∞ and k = 2,
 // and tabulates the per-block mixes and designs.
-func RunTable2(ctx context.Context, s Scale) (*Table2Result, error) {
+func RunTable2(ctx context.Context, s Scale) (_ *Table2Result, err error) {
+	end := experimentSpan("table2")
+	defer func() { end(err == nil) }()
 	db, err := SetupPaperDatabase(s)
 	if err != nil {
 		return nil, err

@@ -32,7 +32,9 @@ type WriteLoadResult struct {
 
 // RunWriteLoad builds the read/load/read workload and recommends designs
 // for it.
-func RunWriteLoad(ctx context.Context, s Scale) (*WriteLoadResult, error) {
+func RunWriteLoad(ctx context.Context, s Scale) (_ *WriteLoadResult, err error) {
+	end := experimentSpan("writeload")
+	defer func() { end(err == nil) }()
 	db, err := SetupPaperDatabase(s)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime/trace"
+)
+
+// CLIConfig gathers the observability settings both CLIs expose as
+// flags. The zero value disables everything; Setup then returns a nil
+// (disabled) tracer and a no-op teardown.
+type CLIConfig struct {
+	// TracePath, when non-empty, writes one JSONL span record per line
+	// to this file (see DESIGN.md §9 for the format).
+	TracePath string
+	// MetricsAddr, when non-empty, serves Prometheus text metrics on
+	// /metrics, expvar on /debug/vars, and pprof on /debug/pprof/ at
+	// this address.
+	MetricsAddr string
+	// PprofAddr, when non-empty, serves net/http/pprof at this address.
+	// It may equal MetricsAddr, in which case one server carries both.
+	PprofAddr string
+	// RuntimeTracePath, when non-empty, captures a runtime/trace
+	// execution trace of the whole run into this file (view with
+	// `go tool trace`).
+	RuntimeTracePath string
+	// SummaryW, when non-nil, receives the aggregator's per-stage
+	// summary table at teardown (the CLIs pass os.Stderr). Ignored
+	// unless TracePath or MetricsAddr enables span collection.
+	SummaryW io.Writer
+}
+
+// enabled reports whether any span-collecting sink is configured.
+// PprofAddr and RuntimeTracePath alone do not enable the tracer: they
+// observe the runtime, not solver spans.
+func (c CLIConfig) enabled() bool {
+	return c.TracePath != "" || c.MetricsAddr != ""
+}
+
+// Setup wires the configured sinks and servers and returns the tracer
+// (nil when no span sink is configured — the zero-overhead disabled
+// state) plus a teardown that flushes the JSONL writer, stops the HTTP
+// servers and runtime trace, and renders the summary. Teardown is safe
+// to call exactly once; on error Setup has already undone any partial
+// wiring.
+func Setup(cfg CLIConfig) (tracer *Tracer, teardown func(), err error) {
+	var cleanups []func()
+	unwind := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+
+	var sinks []Sink
+	var agg *Aggregator
+	if cfg.enabled() {
+		agg = NewAggregator()
+		sinks = append(sinks, agg)
+	}
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			unwind()
+			return nil, nil, fmt.Errorf("obs: creating trace file: %w", err)
+		}
+		jw := NewJSONLWriter(f)
+		sinks = append(sinks, jw)
+		cleanups = append(cleanups, func() {
+			if err := jw.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: closing trace file: %v\n", err)
+			}
+		})
+	}
+	if cfg.MetricsAddr != "" || cfg.PprofAddr != "" {
+		stop, err := StartHTTP(cfg.MetricsAddr, cfg.PprofAddr, agg)
+		if err != nil {
+			unwind()
+			return nil, nil, err
+		}
+		cleanups = append(cleanups, stop)
+	}
+	if cfg.RuntimeTracePath != "" {
+		f, err := os.Create(cfg.RuntimeTracePath)
+		if err != nil {
+			unwind()
+			return nil, nil, fmt.Errorf("obs: creating runtime trace file: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			unwind()
+			return nil, nil, fmt.Errorf("obs: starting runtime trace: %w", err)
+		}
+		cleanups = append(cleanups, func() {
+			trace.Stop()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: closing runtime trace file: %v\n", err)
+			}
+		})
+	}
+	// The summary renders first during teardown (cleanups run in
+	// reverse) so it appears before file-close diagnostics.
+	if agg != nil && cfg.SummaryW != nil {
+		w := cfg.SummaryW
+		cleanups = append(cleanups, func() { agg.RenderSummary(w) })
+	}
+	return NewTracer(sinks...), unwind, nil
+}

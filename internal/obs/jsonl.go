@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONLWriter is a Sink that writes one JSON object per span to an
+// io.Writer — the machine-readable trace format consumed by external
+// tooling (and by ReadJSONL). Writes are serialized by a mutex, so the
+// solver worker pool can emit concurrently; the output is buffered and
+// must be Flushed (or Closed) before the underlying writer is read.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // non-nil when the writer owns the underlying file
+	err error     // first write error, surfaced by Flush/Close
+}
+
+// NewJSONLWriter wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	jw := &JSONLWriter{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		jw.c = c
+	}
+	return jw
+}
+
+// jsonSpan is the wire form of a SpanRecord. Attribute values keep
+// their types through the JSON round trip except that integral floats
+// decode as ints (JSON has one number type); tests pin the behaviour.
+type jsonSpan struct {
+	Name  string         `json:"name"`
+	Start time.Time      `json:"start"`
+	DurNS int64          `json:"dur_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Emit implements Sink.
+func (jw *JSONLWriter) Emit(rec SpanRecord) {
+	js := jsonSpan{Name: rec.Name, Start: rec.Start, DurNS: int64(rec.Dur)}
+	if len(rec.Attrs) > 0 {
+		js.Attrs = make(map[string]any, len(rec.Attrs))
+		for _, a := range rec.Attrs {
+			js.Attrs[a.Key] = a.Value()
+		}
+	}
+	buf, err := json.Marshal(js)
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if err != nil {
+		if jw.err == nil {
+			jw.err = err
+		}
+		return
+	}
+	if jw.err != nil {
+		return
+	}
+	if _, err := jw.w.Write(buf); err != nil {
+		jw.err = err
+		return
+	}
+	if err := jw.w.WriteByte('\n'); err != nil {
+		jw.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error seen so far.
+func (jw *JSONLWriter) Flush() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if err := jw.w.Flush(); err != nil && jw.err == nil {
+		jw.err = err
+	}
+	return jw.err
+}
+
+// Close flushes and, when the writer owns the underlying file, closes
+// it. It returns the first error observed across the sink's lifetime.
+func (jw *JSONLWriter) Close() error {
+	err := jw.Flush()
+	if jw.c != nil {
+		if cerr := jw.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadJSONL parses a JSONL trace back into span records, reversing
+// Emit. Attribute ordering within a span is not preserved (the wire
+// format is a JSON object); aggregate-level tests compare by key.
+func ReadJSONL(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	for line := 0; ; line++ {
+		var js jsonSpan
+		if err := dec.Decode(&js); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: trace record %d: %w", line, err)
+		}
+		rec := SpanRecord{Name: js.Name, Start: js.Start, Dur: time.Duration(js.DurNS)}
+		for key, v := range js.Attrs {
+			switch v := v.(type) {
+			case json.Number:
+				if i, err := v.Int64(); err == nil {
+					rec.Attrs = append(rec.Attrs, Int(key, i))
+				} else if f, err := v.Float64(); err == nil {
+					rec.Attrs = append(rec.Attrs, Float(key, f))
+				} else {
+					return out, fmt.Errorf("obs: trace record %d: bad number %q for attr %q", line, v, key)
+				}
+			case string:
+				rec.Attrs = append(rec.Attrs, String(key, v))
+			case bool:
+				rec.Attrs = append(rec.Attrs, Bool(key, v))
+			default:
+				return out, fmt.Errorf("obs: trace record %d: unsupported attr %q type %T", line, key, v)
+			}
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDisabledTracerZeroAlloc pins the facade's core guarantee: a full
+// span lifecycle — Start, attribute construction, End with attrs — on
+// the disabled (nil) tracer performs zero heap allocations.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("solve")
+		sp.End(Int("stages", 250), Float("cost", 1.5), String("strategy", "kaware"), Bool("ok", true))
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span lifecycle allocates %v per run, want 0", allocs)
+	}
+	// NewTracer with no live sinks must also collapse to the disabled
+	// tracer, so conditional wiring stays allocation-free.
+	tr = NewTracer(nil, nil)
+	if tr.Enabled() {
+		t.Fatal("tracer over no sinks reports enabled")
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("solve")
+		sp.End(Int("stages", 250))
+	})
+	if allocs != 0 {
+		t.Fatalf("no-sink span lifecycle allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestAttrPayloads(t *testing.T) {
+	if got := Int("n", -7).Value(); got != int64(-7) {
+		t.Errorf("Int payload = %v", got)
+	}
+	if got := Float("f", 2.25).Value(); got != 2.25 {
+		t.Errorf("Float payload = %v", got)
+	}
+	if got := String("s", "merge").Value(); got != "merge" {
+		t.Errorf("String payload = %v", got)
+	}
+	if got := Bool("b", true).Value(); got != true {
+		t.Errorf("Bool payload = %v", got)
+	}
+	if got := Bool("b", false).Value(); got != false {
+		t.Errorf("Bool payload = %v", got)
+	}
+}
+
+// TestJSONLRoundTrip pins that spans written by the JSONL sink decode
+// back into equivalent records: same names, durations, and typed
+// attribute payloads (integral floats come back as ints — JSON has one
+// number type — so the fixture uses a fractional float).
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	tr := NewTracer(jw)
+
+	sp := tr.Start("matrix.build")
+	time.Sleep(time.Millisecond)
+	sp.End(Int("stages", 250), Int("configs", 7), Bool("ok", true))
+	sp = tr.Start("ranking.expand")
+	sp.End(Float("frontier_ratio", 0.5), String("strategy", "ranking"))
+	sp = tr.Start("bare")
+	sp.End()
+	if err := jw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("round-tripped %d records, want 3", len(recs))
+	}
+	byKey := func(rec SpanRecord) map[string]any {
+		out := make(map[string]any, len(rec.Attrs))
+		for _, a := range rec.Attrs {
+			out[a.Key] = a.Value()
+		}
+		return out
+	}
+	first := recs[0]
+	if first.Name != "matrix.build" || first.Dur < time.Millisecond {
+		t.Errorf("first record = %q dur %v", first.Name, first.Dur)
+	}
+	if first.Start.IsZero() {
+		t.Error("start time lost in round trip")
+	}
+	attrs := byKey(first)
+	if attrs["stages"] != int64(250) || attrs["configs"] != int64(7) || attrs["ok"] != true {
+		t.Errorf("first attrs = %v", attrs)
+	}
+	attrs = byKey(recs[1])
+	if attrs["frontier_ratio"] != 0.5 || attrs["strategy"] != "ranking" {
+		t.Errorf("second attrs = %v", attrs)
+	}
+	if len(recs[2].Attrs) != 0 {
+		t.Errorf("bare span grew attrs: %v", recs[2].Attrs)
+	}
+}
+
+func TestAggregatorStats(t *testing.T) {
+	agg := NewAggregator()
+	for _, d := range []time.Duration{time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond} {
+		agg.Emit(SpanRecord{Name: "kaware.sweep", Dur: d})
+	}
+	agg.Emit(SpanRecord{Name: "matrix.build", Dur: 10 * time.Millisecond})
+	snap := agg.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d stages, want 2", len(snap))
+	}
+	// Sorted by descending total: matrix.build (10ms) first.
+	if snap[0].Name != "matrix.build" || snap[1].Name != "kaware.sweep" {
+		t.Fatalf("snapshot order = %s, %s", snap[0].Name, snap[1].Name)
+	}
+	sweep := snap[1]
+	if sweep.Count != 3 || sweep.Total != 6*time.Millisecond ||
+		sweep.Min != time.Millisecond || sweep.Max != 3*time.Millisecond ||
+		sweep.Mean() != 2*time.Millisecond {
+		t.Errorf("sweep stats = %+v", sweep)
+	}
+	total := int64(0)
+	for _, b := range sweep.Buckets {
+		total += b
+	}
+	if total != sweep.Count {
+		t.Errorf("histogram holds %d spans, count is %d", total, sweep.Count)
+	}
+	var sb strings.Builder
+	agg.RenderSummary(&sb)
+	if !strings.Contains(sb.String(), "kaware.sweep") || !strings.Contains(sb.String(), "matrix.build") {
+		t.Errorf("summary missing stages:\n%s", sb.String())
+	}
+	agg.Reset()
+	if len(agg.Snapshot()) != 0 {
+		t.Error("Reset left stages behind")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{time.Hour, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for _, c := range cases {
+		if c.want < HistBuckets-1 && c.d > BucketBound(c.want) {
+			t.Errorf("duration %v above its bucket bound %v", c.d, BucketBound(c.want))
+		}
+	}
+}
+
+// promLine matches every non-comment line of the text exposition
+// format: metric{labels} value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*\{span="[^"]+"(,le="[^"]+")?\} ([0-9.e+-]+|\+Inf)$`)
+
+// TestPrometheusExportParses pins that the exporter output follows the
+// text exposition format and that the histogram is internally
+// consistent (cumulative buckets, +Inf == count).
+func TestPrometheusExportParses(t *testing.T) {
+	agg := NewAggregator()
+	for i := 0; i < 5; i++ {
+		agg.Emit(SpanRecord{Name: "merge.step", Dur: time.Duration(i+1) * time.Millisecond})
+	}
+	agg.Emit(SpanRecord{Name: "solve", Dur: 20 * time.Millisecond})
+	var sb strings.Builder
+	if err := agg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+
+	var prevCum = map[string]int64{}
+	infSeen := map[string]int64{}
+	countSeen := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line does not parse as prometheus text: %q", line)
+		}
+		fields := strings.Fields(line)
+		val, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		span := line[strings.Index(line, `span="`)+len(`span="`):]
+		span = span[:strings.IndexByte(span, '"')]
+		switch {
+		case strings.Contains(line, "_bucket{") && strings.Contains(line, `le="+Inf"`):
+			infSeen[span] = int64(val)
+		case strings.Contains(line, "_bucket{"):
+			if int64(val) < prevCum[span] {
+				t.Errorf("histogram for %s not cumulative at %q", span, line)
+			}
+			prevCum[span] = int64(val)
+		case strings.Contains(line, "_count{"):
+			countSeen[span] = int64(val)
+		}
+	}
+	for _, span := range []string{"merge.step", "solve"} {
+		if infSeen[span] != countSeen[span] {
+			t.Errorf("%s: +Inf bucket %d != count %d", span, infSeen[span], countSeen[span])
+		}
+	}
+	if countSeen["merge.step"] != 5 || countSeen["solve"] != 1 {
+		t.Errorf("counts = %v", countSeen)
+	}
+}
+
+// TestStartHTTPRejectsBadAddr pins that listener errors surface
+// synchronously from StartHTTP.
+func TestStartHTTPRejectsBadAddr(t *testing.T) {
+	if _, err := StartHTTP("256.256.256.256:0", "", NewAggregator()); err == nil {
+		t.Fatal("StartHTTP accepted an unlistenable address")
+	}
+}

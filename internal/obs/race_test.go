@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentEmissionOrderingIndependent proves the sink contract
+// under the race detector: many goroutines (the shape of the solver
+// worker pool) emit spans into the same tracer — JSONL sink plus
+// aggregator — concurrently, and the aggregate counts come out exactly
+// right regardless of interleaving.
+func TestConcurrentEmissionOrderingIndependent(t *testing.T) {
+	const (
+		spansPerWorker = 200
+		names          = 3
+	)
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	spanNames := [names]string{"matrix.exec_stage", "kaware.sweep", "ranking.expand"}
+
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	agg := NewAggregator()
+	tr := NewTracer(jw, agg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansPerWorker; i++ {
+				sp := tr.Start(spanNames[(w+i)%names])
+				sp.End(Int("worker", int64(w)), Int("item", int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := jw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	total := int64(workers * spansPerWorker)
+
+	// Aggregator: per-name and overall counts must be exact.
+	var aggTotal int64
+	perName := map[string]int64{}
+	for _, st := range agg.Snapshot() {
+		aggTotal += st.Count
+		perName[st.Name] = st.Count
+		var hist int64
+		for _, b := range st.Buckets {
+			hist += b
+		}
+		if hist != st.Count {
+			t.Errorf("%s: histogram %d != count %d", st.Name, hist, st.Count)
+		}
+	}
+	if aggTotal != total {
+		t.Errorf("aggregator saw %d spans, want %d", aggTotal, total)
+	}
+	// Per-name counts must match the deterministic deal exactly,
+	// independent of goroutine interleaving.
+	want := map[string]int64{}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < spansPerWorker; i++ {
+			want[spanNames[(w+i)%names]]++
+		}
+	}
+	for _, name := range spanNames {
+		if perName[name] != want[name] {
+			t.Errorf("%s count = %d, want %d", name, perName[name], want[name])
+		}
+	}
+
+	// JSONL: every span must round-trip intact — no torn lines under
+	// concurrent emission — and each (worker, item) pair appears once.
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if int64(len(recs)) != total {
+		t.Fatalf("trace has %d records, want %d", len(recs), total)
+	}
+	seen := make(map[[2]int64]bool, total)
+	for _, rec := range recs {
+		var worker, item int64 = -1, -1
+		for _, a := range rec.Attrs {
+			switch a.Key {
+			case "worker":
+				worker = a.IntValue()
+			case "item":
+				item = a.IntValue()
+			}
+		}
+		key := [2]int64{worker, item}
+		if seen[key] {
+			t.Fatalf("duplicate span for worker=%d item=%d", worker, item)
+		}
+		seen[key] = true
+	}
+}
+
+// TestConcurrentSnapshotWhileEmitting exercises Snapshot/WritePrometheus
+// racing live emission — the -metrics-addr scrape path.
+func TestConcurrentSnapshotWhileEmitting(t *testing.T) {
+	agg := NewAggregator()
+	tr := NewTracer(agg)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					sp := tr.Start("solve")
+					sp.End(Bool("ok", true))
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var sink bytes.Buffer
+		if err := agg.WritePrometheus(&sink); err != nil {
+			t.Errorf("WritePrometheus: %v", err)
+			break
+		}
+		_ = agg.Expvar().String()
+	}
+	close(done)
+	wg.Wait()
+}
