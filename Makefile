@@ -6,7 +6,7 @@ GO ?= go
 # fails.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1
+.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1 explain-smoke
 
 all: tier1
 
@@ -29,11 +29,12 @@ bench:
 
 # bench-check produces a machine-readable BENCH_<date>.json over the
 # strategy × n × m × k grid and fails on a >25% ns/op regression
-# against the committed baseline (normalized for machine speed by the
-# calibration cell; see cmd/benchreport). Refresh the baseline with:
+# (normalized for machine speed by the calibration cell) or a >25%
+# allocs/op regression (machine-independent, unnormalized) against the
+# committed baseline; see cmd/benchreport. Refresh the baseline with:
 #   go run ./cmd/benchreport -o bench/baseline.json
 bench-check:
-	$(GO) run ./cmd/benchreport -check -baseline bench/baseline.json -o BENCH_$$(date -u +%Y-%m-%d).json
+	$(GO) run ./cmd/benchreport -check -baseline bench/baseline.json -threshold 0.25 -alloc-threshold 0.25 -o BENCH_$$(date -u +%Y-%m-%d).json
 
 # cover-check enforces the coverage floor on the solver layer.
 cover-check:
@@ -50,6 +51,17 @@ cover-check:
 # -race so the recovery paths are also proven data-race free.
 chaos:
 	$(GO) test -race -run TestResilientSolveUnderChaos -v ./internal/chaos/
+
+# explain-smoke drives the decision-provenance layer end to end on a
+# tiny phase-structured trace: a 20-statement A/C plan, a k=2 solve
+# with -explain, and the provenance JSON (attribution + k-sweep +
+# overfitting audit) written to explain.json. CI uploads the JSON as an
+# artifact.
+explain-smoke:
+	$(GO) run ./cmd/workloadgen -plan "A:10,C:10" -rows 5000 -seed 7 -o explain-trace.json
+	$(GO) run ./cmd/dyndesign -paper-rows 5000 -trace explain-trace.json -k 2 \
+		-audit-trials 3 -explain -explain-out explain.json
+	@test -s explain.json && echo "explain-smoke: explain.json written"
 
 # lint runs vet, gofmt, and staticcheck when the binary is present
 # (the check is skipped, not failed, on machines without it).

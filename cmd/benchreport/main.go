@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -87,6 +88,7 @@ func main() {
 	baseline := flag.String("baseline", "bench/baseline.json", "baseline report for -check")
 	check := flag.Bool("check", false, "compare against -baseline and exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op increase before -check fails")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25, "allowed fractional allocs/op increase before -check fails (allocs are machine-independent; no calibration applies)")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: bad -benchtime: %v\n", err)
@@ -116,11 +118,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchreport: reading baseline: %v\n", err)
 			os.Exit(1)
 		}
-		if failures := compare(base, rep, *threshold, os.Stderr); failures > 0 {
-			fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) beyond %.0f%%\n", failures, *threshold*100)
+		if failures := compare(base, rep, *threshold, *allocThreshold, os.Stderr); failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) beyond %.0f%% time / %.0f%% allocs\n",
+				failures, *threshold*100, *allocThreshold*100)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchreport: no regressions beyond %.0f%%\n", *threshold*100)
+		fmt.Fprintf(os.Stderr, "benchreport: no regressions beyond %.0f%% time / %.0f%% allocs\n",
+			*threshold*100, *allocThreshold*100)
 	}
 }
 
@@ -264,9 +268,12 @@ func calibrate() float64 {
 }
 
 // compare reports each cell's normalized ratio and returns the number
-// of gate failures: ns/op regressions beyond the threshold, and
-// solution drifts (cost or change count differing from baseline).
-func compare(base, cur *Report, threshold float64, w *os.File) int {
+// of gate failures: ns/op regressions beyond the time threshold,
+// allocs/op regressions beyond the alloc threshold (allocation counts
+// are deterministic per machine class, so no calibration normalizer
+// applies), and solution drifts (cost or change count differing from
+// baseline).
+func compare(base, cur *Report, threshold, allocThreshold float64, w *os.File) int {
 	if base.SchemaVersion != cur.SchemaVersion {
 		fmt.Fprintf(w, "benchreport: baseline schema v%d != current v%d; refusing to compare\n",
 			base.SchemaVersion, cur.SchemaVersion)
@@ -302,7 +309,17 @@ func compare(base, cur *Report, threshold float64, w *os.File) int {
 			status = "REGRESSION"
 			failures++
 		}
-		fmt.Fprintf(w, "  %-32s %6.2fx %s\n", c.key(), ratio, status)
+		allocRatio := 1.0
+		if b.AllocsPerOp > 0 {
+			allocRatio = float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
+		} else if c.AllocsPerOp > 0 {
+			allocRatio = math.Inf(1)
+		}
+		if allocRatio > 1+allocThreshold {
+			status = "ALLOC REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(w, "  %-32s %6.2fx time %6.2fx allocs %s\n", c.key(), ratio, allocRatio, status)
 	}
 	for k := range baseByKey {
 		fmt.Fprintf(w, "  %-32s REMOVED (in baseline only)\n", k)

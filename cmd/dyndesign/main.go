@@ -31,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"dyndesign/internal/core"
 	"dyndesign/internal/engine"
 	"dyndesign/internal/experiments"
+	"dyndesign/internal/explain"
 	"dyndesign/internal/obs"
 	"dyndesign/internal/workload"
 )
@@ -83,14 +85,21 @@ func run(ctx context.Context) error {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, expvar, and pprof at this address (e.g. :9090)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof at this address (may equal -metrics-addr)")
 	runtimeTrace := flag.String("runtime-trace", "", "capture a runtime/trace execution trace to this file")
+	explainFlag := flag.Bool("explain", false, "attach decision provenance: cost attribution, k-sweep, overfitting audit")
+	explainOut := flag.String("explain-out", "", "write the explanation as JSON to this file (implies -explain)")
+	auditTrials := flag.Int("audit-trials", 0, "perturbed replays in the overfitting audit (0 = default 5, negative disables)")
+	auditSeed := flag.Int64("audit-seed", 0, "seed deriving the audit's resampling trials (0 = default 1)")
+	ksweepDelta := flag.Int("ksweep-delta", 0, "sweep the cost-of-constraint curve to k plus this (0 = default 2)")
 	flag.Parse()
 
+	gauges := obs.NewGaugeSet()
 	tracer, obsTeardown, err := obs.Setup(obs.CLIConfig{
 		TracePath:        *traceOut,
 		MetricsAddr:      *metricsAddr,
 		PprofAddr:        *pprofAddr,
 		RuntimeTracePath: *runtimeTrace,
 		SummaryW:         os.Stderr,
+		Gauges:           gauges,
 	})
 	if err != nil {
 		return err
@@ -200,6 +209,13 @@ func run(ctx context.Context) error {
 	opts.MaxWhatIfCalls = *maxWhatIf
 	opts.Fallback = *fallback
 	opts.Tracer = tracer
+	if *explainFlag || *explainOut != "" {
+		opts.Explain = &advisor.ExplainOptions{
+			KSweepDelta: *ksweepDelta,
+			AuditTrials: *auditTrials,
+			AuditSeed:   *auditSeed,
+		}
+	}
 
 	adv, err := advisor.New(db, spaceDef)
 	if err != nil {
@@ -219,9 +235,27 @@ func run(ctx context.Context) error {
 			rec.Strategy, rec.Rung)
 	}
 	rec.Render(os.Stdout)
+	if rec.Explanation != nil {
+		rec.Explanation.PublishGauges(gauges)
+		if *explainOut != "" {
+			if err := writeExplanation(*explainOut, rec.Explanation); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "dyndesign: explanation written to %s\n", *explainOut)
+		}
+	}
 	if *timeline != 0 {
 		fmt.Println()
 		rec.RenderTimeline(os.Stdout, *timeline)
 	}
 	return nil
+}
+
+// writeExplanation serializes the provenance record as indented JSON.
+func writeExplanation(path string, e *explain.Explanation) error {
+	buf, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,14 +59,19 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, expvar, and pprof at this address (e.g. :9090)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof at this address (may equal -metrics-addr)")
 	runtimeTrace := flag.String("runtime-trace", "", "capture a runtime/trace execution trace to this file")
+	explainOut := flag.String("explain-out", "", "explain the constrained Table 2 design and write the provenance JSON here")
+	auditTrials := flag.Int("audit-trials", 0, "perturbed replays in the explain overfitting audit (0 = default 5)")
+	auditSeed := flag.Int64("audit-seed", 0, "seed deriving the audit's resampling trials (0 = default 1)")
 	flag.Parse()
 
+	gauges := obs.NewGaugeSet()
 	tracer, obsTeardown, err := obs.Setup(obs.CLIConfig{
 		TracePath:        *traceOut,
 		MetricsAddr:      *metricsAddr,
 		PprofAddr:        *pprofAddr,
 		RuntimeTracePath: *runtimeTrace,
 		SummaryW:         os.Stderr,
+		Gauges:           gauges,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
@@ -145,6 +151,31 @@ func main() {
 	}
 	costingSummary("unconstrained", t2.Unconstrained)
 	costingSummary("k=2", t2.Constrained)
+	if *explainOut != "" {
+		fmt.Fprintf(os.Stderr, "explaining the constrained design (k-sweep + overfitting audit)...\n")
+		e, err := experiments.ExplainConstrained(ctx, t2, advisor.ExplainOptions{
+			AuditTrials: *auditTrials,
+			AuditSeed:   *auditSeed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		e.PublishGauges(gauges)
+		buf, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*explainOut, append(buf, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "explanation written to %s\n", *explainOut)
+		if asJSON {
+			report.Explanation = e
+		} else {
+			e.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
 	if run("table2") {
 		if asJSON {
 			report.Table2 = t2.Rows

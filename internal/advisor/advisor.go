@@ -109,6 +109,13 @@ type Options struct {
 	// ("advisor.recommend"), and every solver-phase span below them
 	// (DESIGN.md §9). The nil default is the disabled tracer.
 	Tracer *obs.Tracer
+
+	// Explain, when non-nil, attaches decision provenance to the
+	// recommendation after a successful solve: cost attribution per
+	// design change, the counterfactual k-sweep, and the overfitting
+	// audit (see internal/explain and DESIGN.md §10). Equivalent to
+	// calling Advisor.Explain afterwards.
+	Explain *ExplainOptions
 }
 
 // resilient reports whether the options ask for the supervised solve
@@ -378,6 +385,7 @@ func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload, op
 		Workload:       w,
 		Problem:        p,
 		Strategy:       strategy,
+		opts:           opts,
 	}
 	start := time.Now()
 	sol, err := a.solveProblem(ctx, p, strategy, opts, rec)
@@ -387,6 +395,11 @@ func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload, op
 		return rec, err
 	}
 	rec.Solution = sol
+	if opts.Explain != nil {
+		if _, err := a.Explain(ctx, rec, *opts.Explain); err != nil {
+			return rec, fmt.Errorf("advisor: explaining recommendation: %w", err)
+		}
+	}
 	return rec, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"dyndesign/internal/catalog"
 	"dyndesign/internal/core"
+	"dyndesign/internal/explain"
 	"dyndesign/internal/workload"
 )
 
@@ -50,6 +51,16 @@ type Recommendation struct {
 	Degradations    int64
 	Cancellations   int64
 	RecoveredPanics int64
+	// Explanation is the decision provenance of the recommendation —
+	// per-transition cost attribution, the counterfactual k-sweep, and
+	// the overfitting audit. Populated by Advisor.Explain (or
+	// automatically when Options.Explain is set); nil otherwise.
+	Explanation *explain.Explanation
+
+	// opts remembers the options the recommendation was solved under so
+	// Explain can re-assemble identically-shaped problems for perturbed
+	// traces.
+	opts Options
 }
 
 // fillInstrumentation copies the costing-layer counters off the solved
@@ -212,15 +223,18 @@ func (r *Recommendation) Render(w io.Writer) {
 	if len(steps) == 0 {
 		fmt.Fprintf(w, "  design: %s for the entire workload (no changes)\n",
 			r.Solution.Designs[0].Format(r.StructureNames))
-		return
-	}
-	fmt.Fprintf(w, "  design steps:\n")
-	for _, s := range steps {
-		fmt.Fprintf(w, "    @%-6d %s -> %s\n", s.StatementIndex,
-			s.From.Format(r.StructureNames), s.To.Format(r.StructureNames))
-		for _, ddl := range s.DDL {
-			fmt.Fprintf(w, "             %s\n", ddl)
+	} else {
+		fmt.Fprintf(w, "  design steps:\n")
+		for _, s := range steps {
+			fmt.Fprintf(w, "    @%-6d %s -> %s\n", s.StatementIndex,
+				s.From.Format(r.StructureNames), s.To.Format(r.StructureNames))
+			for _, ddl := range s.DDL {
+				fmt.Fprintf(w, "             %s\n", ddl)
+			}
 		}
+	}
+	if r.Explanation != nil {
+		r.Explanation.Render(w)
 	}
 }
 

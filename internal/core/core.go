@@ -183,7 +183,14 @@ type Solution struct {
 	Designs []Config
 	// Cost is the sequence execution cost, including the transition from
 	// the initial configuration and to the final one when constrained.
+	// It is exactly ExecCost + TransCost.
 	Cost float64
+	// ExecCost is the EXEC share of Cost: the per-stage statement
+	// execution costs summed over the sequence.
+	ExecCost float64
+	// TransCost is the TRANS share of Cost: every design transition
+	// charged to the sequence, endpoint transitions included.
+	TransCost float64
 	// Changes is the number of design changes under the problem's
 	// policy.
 	Changes int
@@ -280,25 +287,36 @@ func CountChanges(initial Config, designs []Config, policy ChangePolicy) int {
 // initial configuration and to the final one when the problem constrains
 // it.
 func (p *Problem) SequenceCost(designs []Config) float64 {
-	total := 0.0
+	exec, trans := p.SequenceCostSplit(designs)
+	return exec + trans
+}
+
+// SequenceCostSplit computes the sequence execution cost broken into its
+// EXEC and TRANS components. The two sums are accumulated separately so
+// exec + trans is, bit for bit, the Cost a Solution reports — the
+// invariant the explain layer's attribution depends on.
+func (p *Problem) SequenceCostSplit(designs []Config) (exec, trans float64) {
 	prev := p.Initial
 	for i, c := range designs {
-		total += p.Model.Trans(prev, c)
-		total += p.Model.Exec(i, c)
+		trans += p.Model.Trans(prev, c)
+		exec += p.Model.Exec(i, c)
 		prev = c
 	}
 	if p.Final != nil {
-		total += p.Model.Trans(prev, *p.Final)
+		trans += p.Model.Trans(prev, *p.Final)
 	}
-	return total
+	return exec, trans
 }
 
 // NewSolution packages a design sequence with its cost and change count.
 func (p *Problem) NewSolution(designs []Config) *Solution {
+	exec, trans := p.SequenceCostSplit(designs)
 	return &Solution{
-		Designs: designs,
-		Cost:    p.SequenceCost(designs),
-		Changes: CountChanges(p.Initial, designs, p.Policy),
+		Designs:   designs,
+		Cost:      exec + trans,
+		ExecCost:  exec,
+		TransCost: trans,
+		Changes:   CountChanges(p.Initial, designs, p.Policy),
 	}
 }
 

@@ -8,16 +8,153 @@ import (
 	"dyndesign/internal/obs"
 )
 
+// layeredDP is the state of one k-aware layered sequence-graph run: the
+// final-stage cost table over (configuration, layer) plus the parent
+// links needed to backtrack any endpoint. SolveKAware consumes only the
+// global optimum; SweepK reads every layer, which is why the run is kept
+// as a value instead of being discarded inside the solver.
+type layeredDP struct {
+	configs []Config
+	m       *matrices
+	layers  int
+	// cost[idx(c,l)] is the cheapest way to execute all stages with the
+	// last stage under configs[c] and exactly l changes counted.
+	cost []float64
+	// parents[i][idx(c,l)] is the configuration index used at stage i-1;
+	// the predecessor layer is l when the configuration is unchanged and
+	// l-1 otherwise.
+	parents [][]int32
+	stages  int
+}
+
+func (d *layeredDP) idx(c, l int) int { return c*d.layers + l }
+
+// runLayeredDP executes the paper's k-aware sequence-graph relaxation
+// (§3) over the given number of layers: layer l holds the paths that
+// have made exactly l design changes so far. Staying in a configuration
+// keeps the layer; switching moves one layer down. The sweep checks the
+// context between stages, so cancellation latency is bounded by one
+// O(layers·m²) relaxation.
+func (p *Problem) runLayeredDP(ctx context.Context, m *matrices, configs []Config, layers int) (*layeredDP, error) {
+	nc := len(configs)
+	d := &layeredDP{configs: configs, m: m, layers: layers, stages: p.Stages}
+	inf := math.Inf(1)
+
+	cost := make([]float64, nc*layers)
+	for i := range cost {
+		cost[i] = inf
+	}
+	for j, c := range configs {
+		startLayer := 0
+		if p.Policy == CountAll && c != p.Initial {
+			startLayer = 1
+		}
+		if startLayer >= layers {
+			continue // K = 0 under CountAll: only the initial design is usable
+		}
+		cost[d.idx(j, startLayer)] = m.initTrans[j] + m.exec[0][j]
+	}
+
+	d.parents = make([][]int32, p.Stages)
+	next := make([]float64, nc*layers)
+	for i := 1; i < p.Stages; i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		sweep := p.Tracer.Start(SpanKAwareSweep)
+		parent := make([]int32, nc*layers)
+		for x := range next {
+			next[x] = inf
+			parent[x] = -1
+		}
+		for f := 0; f < nc; f++ {
+			for l := 0; l < layers; l++ {
+				v := cost[d.idx(f, l)]
+				if math.IsInf(v, 1) {
+					continue
+				}
+				// Stay in the same configuration: same layer.
+				stay := v + m.exec[i][f]
+				if stay < next[d.idx(f, l)] {
+					next[d.idx(f, l)] = stay
+					parent[d.idx(f, l)] = int32(f)
+				}
+				// Switch configurations: one layer deeper.
+				if l+1 >= layers {
+					continue
+				}
+				for j := 0; j < nc; j++ {
+					if j == f {
+						continue
+					}
+					sw := v + m.trans[f][j] + m.exec[i][j]
+					if sw < next[d.idx(j, l+1)] {
+						next[d.idx(j, l+1)] = sw
+						parent[d.idx(j, l+1)] = int32(f)
+					}
+				}
+			}
+		}
+		cost, next = next, cost
+		d.parents[i] = parent
+		sweep.End(obs.Int("stage", int64(i)), obs.Int("layers", int64(layers)), obs.Int("configs", int64(nc)))
+	}
+	d.cost = cost
+	return d, nil
+}
+
+// best finds the cheapest endpoint over layers [0, maxLayer], final
+// transition included. ok is false when no endpoint within the layer
+// bound is reachable.
+func (d *layeredDP) best(maxLayer int) (cfg, layer int, ok bool) {
+	if maxLayer >= d.layers {
+		maxLayer = d.layers - 1
+	}
+	bestCost := math.Inf(1)
+	cfg, layer = -1, -1
+	for j := 0; j < len(d.configs); j++ {
+		for l := 0; l <= maxLayer; l++ {
+			v := d.cost[d.idx(j, l)]
+			if math.IsInf(v, 1) {
+				continue
+			}
+			if d.m.finalTrans != nil {
+				v += d.m.finalTrans[j]
+			}
+			if v < bestCost {
+				bestCost = v
+				cfg, layer = j, l
+			}
+		}
+	}
+	return cfg, layer, cfg >= 0
+}
+
+// backtrack reconstructs the design sequence ending at (cfg, layer).
+func (d *layeredDP) backtrack(cfg, layer int) []Config {
+	designs := make([]Config, d.stages)
+	c, l := cfg, layer
+	for i := d.stages - 1; i >= 0; i-- {
+		designs[i] = d.configs[c]
+		if i == 0 {
+			break
+		}
+		prev := int(d.parents[i][d.idx(c, l)])
+		if prev != c {
+			l--
+		}
+		c = prev
+	}
+	return designs
+}
+
 // SolveKAware finds the optimal change-constrained dynamic physical
 // design via the paper's k-aware sequence graph (§3): the sequence graph
 // replicated into K+1 layers, where layer l holds the paths that have
-// made exactly l design changes so far. Staying in a configuration keeps
-// the layer; switching moves one layer down. The shortest path over the
+// made exactly l design changes so far. The shortest path over the
 // layered DAG is the constrained optimum, found in O(K·n·m²).
 //
-// With K == Unconstrained it reduces to SolveUnconstrained. The layer
-// sweep checks the context between stages, so cancellation latency is
-// bounded by one O(K·m²) relaxation.
+// With K == Unconstrained it reduces to SolveUnconstrained.
 func SolveKAware(ctx context.Context, p *Problem) (*Solution, error) {
 	if p.K == Unconstrained {
 		return SolveUnconstrained(ctx, p)
@@ -33,110 +170,96 @@ func SolveKAware(ctx context.Context, p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	nc := len(configs)
-	layers := p.K + 1
-
-	idx := func(c, l int) int { return c*layers + l }
-	inf := math.Inf(1)
-
-	// cost[idx(c,l)] is the cheapest way to execute stages [0..i] with
-	// stage i under configs[c] and l changes counted so far.
-	cost := make([]float64, nc*layers)
-	for i := range cost {
-		cost[i] = inf
+	d, err := p.runLayeredDP(ctx, m, configs, p.K+1)
+	if err != nil {
+		return nil, err
 	}
-	for j, c := range configs {
-		startLayer := 0
-		if p.Policy == CountAll && c != p.Initial {
-			startLayer = 1
-		}
-		if startLayer >= layers {
-			continue // K = 0 under CountAll: only the initial design is usable
-		}
-		cost[idx(j, startLayer)] = m.initTrans[j] + m.exec[0][j]
+	cfg, layer, ok := d.best(p.K)
+	if !ok {
+		return nil, fmt.Errorf("core: no design with at most %d changes exists", p.K)
 	}
+	return p.NewSolution(d.backtrack(cfg, layer)), nil
+}
 
-	// parents[i][idx(c,l)] is the configuration used at stage i-1; the
-	// predecessor layer is l when the configuration is unchanged and l-1
-	// otherwise.
-	parents := make([][]int32, p.Stages)
-	next := make([]float64, nc*layers)
-	for i := 1; i < p.Stages; i++ {
+// KSweepPoint is one point of the cost-of-constraint curve: the optimal
+// sequence cost when at most K design changes are allowed.
+type KSweepPoint struct {
+	// K is the change bound of this point.
+	K int
+	// Feasible is false when no design with at most K changes exists
+	// (K = 0 under CountAll with an unusable initial configuration); Cost
+	// and Changes are meaningless then.
+	Feasible bool
+	// Cost is the optimal sequence cost under the bound, recomputed from
+	// the model (epsilon-free, matching Solution.Cost for the same K).
+	Cost float64
+	// ExecCost and TransCost split Cost the way Solution does.
+	ExecCost, TransCost float64
+	// Changes is the change count of the optimal design at this bound —
+	// it can be below K when extra allowance buys nothing.
+	Changes int
+}
+
+// SweepK computes the cost-of-constraint curve cost(k') for k' in
+// [0, maxK] with ONE layered DP run — the k-aware relaxation already
+// computes every layer up to its bound; the sweep exposes them instead
+// of discarding all but the optimum. Each point's cost is recomputed
+// from the model over the backtracked design, so the curve is exact (no
+// tie-breaking epsilon) and point maxK matches SolveKAware's solution
+// cost at K = maxK. The curve is monotone non-increasing in K by
+// construction: a design feasible at k' is feasible at k'+1, so each
+// point keeps the previous design when the DP offers nothing cheaper.
+//
+// The problem's own K is ignored; the sweep always spans [0, maxK].
+func SweepK(ctx context.Context, p *Problem, maxK int) ([]KSweepPoint, error) {
+	if maxK < 0 {
+		return nil, fmt.Errorf("core: cannot sweep to negative change bound %d", maxK)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	configs, err := p.usableConfigs()
+	if err != nil {
+		return nil, err
+	}
+	m, err := p.buildMatrices(ctx, configs)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.runLayeredDP(ctx, m, configs, maxK+1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KSweepPoint, 0, maxK+1)
+	var prev *Solution
+	prevCfg, prevLayer := -1, -1
+	for k := 0; k <= maxK; k++ {
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
-		sweep := p.Tracer.Start(SpanKAwareSweep)
-		parent := make([]int32, nc*layers)
-		for x := range next {
-			next[x] = inf
-			parent[x] = -1
-		}
-		for f := 0; f < nc; f++ {
-			for l := 0; l < layers; l++ {
-				v := cost[idx(f, l)]
-				if math.IsInf(v, 1) {
-					continue
-				}
-				// Stay in the same configuration: same layer.
-				stay := v + m.exec[i][f]
-				if stay < next[idx(f, l)] {
-					next[idx(f, l)] = stay
-					parent[idx(f, l)] = int32(f)
-				}
-				// Switch configurations: one layer deeper.
-				if l+1 >= layers {
-					continue
-				}
-				for j := 0; j < nc; j++ {
-					if j == f {
-						continue
-					}
-					sw := v + m.trans[f][j] + m.exec[i][j]
-					if sw < next[idx(j, l+1)] {
-						next[idx(j, l+1)] = sw
-						parent[idx(j, l+1)] = int32(f)
-					}
-				}
+		pt := KSweepPoint{K: k}
+		cfg, layer, ok := d.best(k)
+		if ok {
+			sol := prev
+			if cfg != prevCfg || layer != prevLayer {
+				sol = p.NewSolution(d.backtrack(cfg, layer))
 			}
-		}
-		cost, next = next, cost
-		parents[i] = parent
-		sweep.End(obs.Int("stage", int64(i)), obs.Int("layers", int64(layers)), obs.Int("configs", int64(nc)))
-	}
-
-	bestCfg, bestLayer := -1, -1
-	bestCost := inf
-	for j := 0; j < nc; j++ {
-		for l := 0; l < layers; l++ {
-			v := cost[idx(j, l)]
-			if math.IsInf(v, 1) {
-				continue
+			// Keep the previous point's design when the new endpoint is
+			// not a strict improvement on recomputed (epsilon-free) cost:
+			// feasibility nests in K, so the curve never goes up.
+			if prev != nil && prev.Cost <= sol.Cost {
+				sol = prev
+			} else {
+				prevCfg, prevLayer = cfg, layer
 			}
-			if m.finalTrans != nil {
-				v += m.finalTrans[j]
-			}
-			if v < bestCost {
-				bestCost = v
-				bestCfg, bestLayer = j, l
-			}
+			pt.Feasible = true
+			pt.Cost = sol.Cost
+			pt.ExecCost = sol.ExecCost
+			pt.TransCost = sol.TransCost
+			pt.Changes = sol.Changes
+			prev = sol
 		}
+		out = append(out, pt)
 	}
-	if bestCfg < 0 {
-		return nil, fmt.Errorf("core: no design with at most %d changes exists", p.K)
-	}
-
-	designs := make([]Config, p.Stages)
-	c, l := bestCfg, bestLayer
-	for i := p.Stages - 1; i >= 0; i-- {
-		designs[i] = configs[c]
-		if i == 0 {
-			break
-		}
-		prev := int(parents[i][idx(c, l)])
-		if prev != c {
-			l--
-		}
-		c = prev
-	}
-	return p.NewSolution(designs), nil
+	return out, nil
 }

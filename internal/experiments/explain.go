@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"context"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/explain"
+)
+
+// ExplainConstrained attaches decision provenance to the Table 2
+// constrained (k=2) recommendation: per-transition cost attribution, the
+// cost-of-constraint sweep around k=2, and the overfitting audit
+// replaying the design against block-bootstrap resamples of W1. The
+// explanation is also stored on t2.Constrained.Explanation.
+func ExplainConstrained(ctx context.Context, t2 *Table2Result, opts advisor.ExplainOptions) (_ *explain.Explanation, err error) {
+	end := experimentSpan("explain")
+	defer func() { end(err == nil) }()
+	return t2.Advisor.Explain(ctx, t2.Constrained, opts)
+}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+
+	"dyndesign/internal/explain"
 )
 
 // Machine-readable exports: every experiment result can be written as
@@ -26,4 +28,7 @@ type JSONReport struct {
 	Figure4   *Figure4Result   `json:"figure4,omitempty"`
 	Quality   *QualityVsK      `json:"quality_vs_k,omitempty"`
 	WriteLoad *WriteLoadResult `json:"write_load,omitempty"`
+	// Explanation is the decision provenance of the constrained Table 2
+	// recommendation (paperexp -explain-out).
+	Explanation *explain.Explanation `json:"explanation,omitempty"`
 }

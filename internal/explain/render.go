@@ -1,0 +1,112 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"dyndesign/internal/core"
+	"dyndesign/internal/obs"
+)
+
+// Render writes the human-readable provenance report: the cost
+// attribution of every design change, the cost-of-constraint curve, and
+// the overfitting audit. The layout is covered by a golden-file test —
+// change the golden data when changing the format.
+func (e *Explanation) Render(w io.Writer) {
+	k := "unconstrained"
+	if e.K != core.Unconstrained {
+		k = strconv.Itoa(e.K)
+	}
+	fmt.Fprintf(w, "Decision provenance (schema v%d, strategy %s)\n", e.SchemaVersion, e.Strategy)
+	fmt.Fprintf(w, "  stages: %d   k: %s   policy: %s\n", e.Stages, k, e.Policy)
+	fmt.Fprintf(w, "  cost: %.2f = EXEC %.2f + TRANS %.2f   changes used: %d\n",
+		e.Cost, e.ExecCost, e.TransCost, e.Changes)
+	if len(e.Transitions) == 0 {
+		fmt.Fprintf(w, "  no design changes: one configuration serves the whole sequence\n")
+	}
+	for _, t := range e.Transitions {
+		if t.RunLength == 0 {
+			fmt.Fprintf(w, "  @stage %-4d %s -> %s (final teardown)   TRANS %.2f\n",
+				t.Stage, t.From, t.To, t.TransCost)
+			continue
+		}
+		fmt.Fprintf(w, "  @stage %-4d %s -> %s\n", t.Stage, t.From, t.To)
+		fmt.Fprintf(w, "    TRANS %.2f buys EXEC savings %.2f over %d stages (removal penalty %+.2f)\n",
+			t.TransCost, t.ExecSaved, t.RunLength, t.RemovalPenalty)
+		for _, s := range t.TopStages {
+			loc := fmt.Sprintf("stage %d", s.Stage)
+			if s.Statement >= 0 {
+				loc = fmt.Sprintf("stmt %d", s.Statement)
+			}
+			if s.SQL != "" {
+				fmt.Fprintf(w, "      %-10s delta %9.2f  %s\n", loc, s.Delta, s.SQL)
+			} else {
+				fmt.Fprintf(w, "      %-10s delta %9.2f\n", loc, s.Delta)
+			}
+		}
+	}
+	if len(e.KSweep) > 0 {
+		fmt.Fprintf(w, "  cost of constraint (k-sweep):\n")
+		fmt.Fprintf(w, "    %4s %12s %10s %8s\n", "k", "cost", "marginal", "changes")
+		for _, pt := range e.KSweep {
+			if !pt.Feasible {
+				fmt.Fprintf(w, "    %4d %12s\n", pt.K, "infeasible")
+				continue
+			}
+			marker := ""
+			if pt.K == e.K {
+				marker = "  <- recommended"
+			}
+			fmt.Fprintf(w, "    %4d %12.2f %10.2f %8d%s\n", pt.K, pt.Cost, pt.Marginal, pt.Changes, marker)
+		}
+	}
+	if e.Audit != nil {
+		a := e.Audit
+		fmt.Fprintf(w, "  overfitting audit (%d perturbed replays, seed %d):\n", a.Trials, a.Seed)
+		renderSide(w, "constrained", &a.Constrained)
+		renderSide(w, "unconstrained", &a.Unconstrained)
+		switch {
+		case a.Constrained.MeanRegret <= a.Unconstrained.MeanRegret:
+			fmt.Fprintf(w, "    verdict: constrained design generalizes at least as well as unconstrained\n")
+		default:
+			fmt.Fprintf(w, "    verdict: WARNING constrained design shows higher held-out regret than unconstrained\n")
+		}
+	}
+}
+
+func renderSide(w io.Writer, name string, s *AuditSide) {
+	k := "unconstrained"
+	if s.K != core.Unconstrained {
+		k = fmt.Sprintf("k=%d", s.K)
+	}
+	fmt.Fprintf(w, "    %-13s (%s, %d changes): train cost %.2f, held-out regret mean %.2f max %.2f\n",
+		name, k, s.Changes, s.TrainCost, s.MeanRegret, s.MaxRegret)
+}
+
+// PublishGauges exports the explanation's headline numbers as
+// Prometheus gauges: the cost split, the k-sweep curve, and the audit
+// regrets. A nil GaugeSet is a no-op, so callers can publish
+// unconditionally.
+func (e *Explanation) PublishGauges(g *obs.GaugeSet) {
+	if g == nil {
+		return
+	}
+	g.Help("dyndesign_explain_cost", "Recommended sequence cost by component.")
+	g.Set("dyndesign_explain_cost", e.Cost, "component", "total")
+	g.Set("dyndesign_explain_cost", e.ExecCost, "component", "exec")
+	g.Set("dyndesign_explain_cost", e.TransCost, "component", "trans")
+	g.Help("dyndesign_explain_changes", "Design changes used by the recommendation.")
+	g.Set("dyndesign_explain_changes", float64(e.Changes))
+	g.Help("dyndesign_explain_ksweep_cost", "Optimal sequence cost at each change bound.")
+	for _, pt := range e.KSweep {
+		if pt.Feasible {
+			g.Set("dyndesign_explain_ksweep_cost", pt.Cost, "k", strconv.Itoa(pt.K))
+		}
+	}
+	if e.Audit != nil {
+		g.Help("dyndesign_explain_audit_regret", "Held-out mean regret of the fixed design over perturbed replays.")
+		g.Set("dyndesign_explain_audit_regret", e.Audit.Constrained.MeanRegret, "side", "constrained")
+		g.Set("dyndesign_explain_audit_regret", e.Audit.Unconstrained.MeanRegret, "side", "unconstrained")
+	}
+}

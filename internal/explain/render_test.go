@@ -1,0 +1,70 @@
+package explain
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dyndesign/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRenderGolden pins the rendered provenance report byte for byte.
+// The fixture is fully deterministic (seeded noise, serial solve), so
+// any diff is a deliberate format change: regenerate with
+// `go test ./internal/explain -run Golden -update`.
+func TestRenderGolden(t *testing.T) {
+	_, _, e := buildFixture(t, 1)
+	var sb strings.Builder
+	e.Render(&sb)
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered report drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPublishGauges pins the gauge export: cost split, sweep points,
+// and audit regrets all land in the set; a nil set is a no-op.
+func TestPublishGauges(t *testing.T) {
+	_, _, e := buildFixture(t, 1)
+	e.PublishGauges(nil) // must not panic
+
+	g := obs.NewGaugeSet()
+	e.PublishGauges(g)
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`dyndesign_explain_cost{component="total"}`,
+		`dyndesign_explain_cost{component="exec"}`,
+		`dyndesign_explain_cost{component="trans"}`,
+		"dyndesign_explain_changes",
+		`dyndesign_explain_ksweep_cost{k="0"}`,
+		`dyndesign_explain_ksweep_cost{k="4"}`,
+		`dyndesign_explain_audit_regret{side="constrained"}`,
+		`dyndesign_explain_audit_regret{side="unconstrained"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gauge export missing %s", want)
+		}
+	}
+}

@@ -29,6 +29,10 @@ type CLIConfig struct {
 	// summary table at teardown (the CLIs pass os.Stderr). Ignored
 	// unless TracePath or MetricsAddr enables span collection.
 	SummaryW io.Writer
+	// Gauges, when non-nil, is rendered on /metrics after the span
+	// families — the CLIs publish explanation gauges (k-sweep curve,
+	// audit regret) through it.
+	Gauges *GaugeSet
 }
 
 // enabled reports whether any span-collecting sink is configured.
@@ -73,7 +77,7 @@ func Setup(cfg CLIConfig) (tracer *Tracer, teardown func(), err error) {
 		})
 	}
 	if cfg.MetricsAddr != "" || cfg.PprofAddr != "" {
-		stop, err := StartHTTP(cfg.MetricsAddr, cfg.PprofAddr, agg)
+		stop, err := StartHTTP(cfg.MetricsAddr, cfg.PprofAddr, agg, cfg.Gauges)
 		if err != nil {
 			unwind()
 			return nil, nil, err

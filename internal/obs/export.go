@@ -85,9 +85,18 @@ func (a *Aggregator) Expvar() expvar.Var {
 // MetricsHandler serves the Prometheus text exposition of the
 // aggregator.
 func (a *Aggregator) MetricsHandler() http.Handler {
+	return metricsHandler(a, nil)
+}
+
+// metricsHandler serves the aggregator's span families followed by the
+// gauge families; either side may be nil.
+func metricsHandler(a *Aggregator, g *GaugeSet) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = a.WritePrometheus(w)
+		if a != nil {
+			_ = a.WritePrometheus(w)
+		}
+		_ = g.WritePrometheus(w)
 	})
 }
 
@@ -102,12 +111,14 @@ func registerPprof(mux *http.ServeMux) {
 }
 
 // StartHTTP starts the CLI observability endpoints: a /metrics +
-// /debug/vars server on metricsAddr (when non-empty, agg required) and
-// a /debug/pprof server on pprofAddr (when non-empty). When both
-// addresses are equal one server carries everything. Listeners are
-// bound synchronously so a bad address fails here, not in a goroutine;
-// the returned stop function shuts the servers down.
-func StartHTTP(metricsAddr, pprofAddr string, agg *Aggregator) (stop func(), err error) {
+// /debug/vars server on metricsAddr (when non-empty) and a /debug/pprof
+// server on pprofAddr (when non-empty). When both addresses are equal
+// one server carries everything. /metrics renders the aggregator's span
+// families followed by the gauge families; either may be nil (a nil agg
+// is replaced by an empty one so the endpoint always parses). Listeners
+// are bound synchronously so a bad address fails here, not in a
+// goroutine; the returned stop function shuts the servers down.
+func StartHTTP(metricsAddr, pprofAddr string, agg *Aggregator, gauges *GaugeSet) (stop func(), err error) {
 	type bound struct {
 		ln  net.Listener
 		srv *http.Server
@@ -136,7 +147,7 @@ func StartHTTP(metricsAddr, pprofAddr string, agg *Aggregator) (stop func(), err
 			agg = NewAggregator()
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", agg.MetricsHandler())
+		mux.Handle("/metrics", metricsHandler(agg, gauges))
 		mux.Handle("/debug/vars", expvar.Handler())
 		if pprofAddr == metricsAddr {
 			registerPprof(mux)

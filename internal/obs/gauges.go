@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// GaugeSet is a small Prometheus gauge registry for point-in-time
+// quantities that are not span durations — the explain layer's
+// cost-of-constraint curve, audit regrets, and attribution totals. It
+// complements the Aggregator (which only sees spans): gauges are set
+// explicitly, keep their last value, and render in the same text
+// exposition the /metrics endpoint serves. Safe for concurrent use.
+type GaugeSet struct {
+	mu     sync.Mutex
+	series map[string]gauge // keyed by name + rendered labels
+	help   map[string]string
+}
+
+type gauge struct {
+	name   string
+	labels string // pre-rendered {k="v",...} or ""
+	value  float64
+}
+
+// NewGaugeSet builds an empty gauge registry.
+func NewGaugeSet() *GaugeSet {
+	return &GaugeSet{series: make(map[string]gauge), help: make(map[string]string)}
+}
+
+// Help sets the HELP text rendered for a gauge family.
+func (g *GaugeSet) Help(name, help string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.help[name] = help
+	g.mu.Unlock()
+}
+
+// Set records a gauge value for the series identified by name and label
+// pairs (given as "key", "value" alternating; an odd trailing key is
+// ignored). Setting the same series again overwrites its value. A nil
+// GaugeSet drops the write, so publishing stays unconditional at call
+// sites.
+func (g *GaugeSet) Set(name string, value float64, labelPairs ...string) {
+	if g == nil {
+		return
+	}
+	var labels string
+	if len(labelPairs) >= 2 {
+		parts := make([]string, 0, len(labelPairs)/2)
+		for i := 0; i+1 < len(labelPairs); i += 2 {
+			parts = append(parts, fmt.Sprintf("%s=%q", labelPairs[i], labelPairs[i+1]))
+		}
+		sort.Strings(parts)
+		labels = "{" + strings.Join(parts, ",") + "}"
+	}
+	g.mu.Lock()
+	g.series[name+labels] = gauge{name: name, labels: labels, value: value}
+	g.mu.Unlock()
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format, grouped by family and sorted, so output is stable across
+// calls. A nil GaugeSet writes nothing.
+func (g *GaugeSet) WritePrometheus(w io.Writer) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	all := make([]gauge, 0, len(g.series))
+	for _, s := range g.series {
+		all = append(all, s)
+	}
+	help := make(map[string]string, len(g.help))
+	for k, v := range g.help {
+		help[k] = v
+	}
+	g.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].labels < all[j].labels
+	})
+	lastFamily := ""
+	for _, s := range all {
+		if s.name != lastFamily {
+			if h := help[s.name]; h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", s.name); err != nil {
+				return err
+			}
+			lastFamily = s.name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %g\n", s.name, s.labels, s.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

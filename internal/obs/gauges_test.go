@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGaugeSetPrometheusOutput(t *testing.T) {
+	g := NewGaugeSet()
+	g.Help("dyndesign_explain_ksweep_cost", "Optimal cost at each change bound.")
+	g.Set("dyndesign_explain_ksweep_cost", 120.5, "k", "2")
+	g.Set("dyndesign_explain_ksweep_cost", 140, "k", "1")
+	g.Set("dyndesign_explain_audit_regret", 3.25, "side", "constrained")
+	g.Set("dyndesign_explain_audit_regret", 9, "side", "unconstrained")
+	// Overwrite keeps one series, last value wins.
+	g.Set("dyndesign_explain_ksweep_cost", 118, "k", "2")
+
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE dyndesign_explain_audit_regret gauge\n" +
+		"dyndesign_explain_audit_regret{side=\"constrained\"} 3.25\n" +
+		"dyndesign_explain_audit_regret{side=\"unconstrained\"} 9\n" +
+		"# HELP dyndesign_explain_ksweep_cost Optimal cost at each change bound.\n" +
+		"# TYPE dyndesign_explain_ksweep_cost gauge\n" +
+		"dyndesign_explain_ksweep_cost{k=\"1\"} 140\n" +
+		"dyndesign_explain_ksweep_cost{k=\"2\"} 118\n"
+	if sb.String() != want {
+		t.Errorf("output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	// Stable across calls.
+	var again strings.Builder
+	if err := g.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != sb.String() {
+		t.Error("second render differs from first")
+	}
+}
+
+func TestGaugeSetNilSafe(t *testing.T) {
+	var g *GaugeSet
+	g.Set("x", 1)
+	g.Help("x", "h")
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil GaugeSet rendered %q", sb.String())
+	}
+}
+
+// closeTrackingWriter records the order of writes relative to Close and
+// fails writes after Close the way a real *os.File does.
+type closeTrackingWriter struct {
+	mu     sync.Mutex
+	closed bool
+	lines  strings.Builder
+}
+
+func (w *closeTrackingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("write after close")
+	}
+	w.lines.Write(p)
+	return len(p), nil
+}
+
+func (w *closeTrackingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	return nil
+}
+
+// TestJSONLCloseFlushOrdering pins the crash-ordering guarantee: spans
+// emitted before Close — including a partially filled batch still in the
+// bufio buffer — are flushed to the underlying file strictly before it
+// is closed, concurrent emits racing with Close never write to a closed
+// file, and the surviving trace parses cleanly.
+func TestJSONLCloseFlushOrdering(t *testing.T) {
+	w := &closeTrackingWriter{}
+	jw := NewJSONLWriter(w)
+
+	const preClose = 100
+	for i := 0; i < preClose; i++ {
+		jw.Emit(SpanRecord{Name: "pre", Start: time.Unix(0, int64(i)), Dur: time.Duration(i)})
+	}
+
+	// Emits racing with Close must either land before the flush or drop.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				jw.Emit(SpanRecord{Name: "race", Dur: time.Duration(j)})
+			}
+		}()
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+
+	if err := jw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	jw.Emit(SpanRecord{Name: "post"}) // must drop, not error or write
+
+	recs, err := ReadJSONL(strings.NewReader(w.lines.String()))
+	if err != nil {
+		t.Fatalf("trace does not parse after Close: %v", err)
+	}
+	pre := 0
+	for _, r := range recs {
+		if r.Name == "pre" {
+			pre++
+		}
+		if r.Name == "post" {
+			t.Error("emit after Close reached the file")
+		}
+	}
+	if pre != preClose {
+		t.Errorf("flushed %d pre-Close spans, want %d", pre, preClose)
+	}
+}
+
+// TestJSONLCloseSurfacesWriteError pins that a flush failure at Close is
+// reported, not swallowed.
+func TestJSONLCloseSurfacesWriteError(t *testing.T) {
+	w := &closeTrackingWriter{}
+	w.closed = true // every write fails
+	jw := NewJSONLWriter(w)
+	jw.Emit(SpanRecord{Name: "doomed", Dur: time.Millisecond})
+	if err := jw.Close(); err == nil {
+		t.Fatal("Close swallowed the write error")
+	}
+}
+
+var _ io.WriteCloser = (*closeTrackingWriter)(nil)

@@ -15,10 +15,11 @@ import (
 // solver worker pool can emit concurrently; the output is buffered and
 // must be Flushed (or Closed) before the underlying writer is read.
 type JSONLWriter struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer // non-nil when the writer owns the underlying file
-	err error     // first write error, surfaced by Flush/Close
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer // non-nil when the writer owns the underlying file
+	err    error     // first write error, surfaced by Flush/Close
+	closed bool      // set by Close; later Emits drop, later Closes no-op
 }
 
 // NewJSONLWriter wraps w. If w is also an io.Closer, Close closes it.
@@ -52,6 +53,9 @@ func (jw *JSONLWriter) Emit(rec SpanRecord) {
 	buf, err := json.Marshal(js)
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
+	if jw.closed {
+		return
+	}
 	if err != nil {
 		if jw.err == nil {
 			jw.err = err
@@ -82,14 +86,27 @@ func (jw *JSONLWriter) Flush() error {
 
 // Close flushes and, when the writer owns the underlying file, closes
 // it. It returns the first error observed across the sink's lifetime.
+// The flush and the underlying close happen under the emit mutex, so
+// every Emit that returned before Close began is durably written — a
+// concurrent Emit either lands in the flushed buffer or, once Close has
+// the lock, is dropped rather than written to a closed file. Closing
+// twice is a no-op returning the recorded error.
 func (jw *JSONLWriter) Close() error {
-	err := jw.Flush()
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.closed {
+		return jw.err
+	}
+	jw.closed = true
+	if err := jw.w.Flush(); err != nil && jw.err == nil {
+		jw.err = err
+	}
 	if jw.c != nil {
-		if cerr := jw.c.Close(); cerr != nil && err == nil {
-			err = cerr
+		if cerr := jw.c.Close(); cerr != nil && jw.err == nil {
+			jw.err = cerr
 		}
 	}
-	return err
+	return jw.err
 }
 
 // ReadJSONL parses a JSONL trace back into span records, reversing

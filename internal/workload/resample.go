@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Resample returns a deterministic, phase-preserving perturbation of the
+// workload: within every label block, statements are redrawn i.i.d. with
+// replacement from that block's own statements (a block-wise bootstrap).
+// The result has the same length, the same labels, and the same block
+// structure; only the per-position statement draws differ — exactly the
+// "another trace from the same phases" counterfactual the overfitting
+// audit replays designs against. A workload without labels is treated as
+// one block, which preserves its statement mix but not any latent phase
+// structure (documented so callers label traces they want audited
+// phase-faithfully).
+//
+// The same (workload, seed) pair always yields the same resample;
+// statements are shared with the source workload, never re-parsed.
+func (w *Workload) Resample(seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Workload{
+		Name:       fmt.Sprintf("%s~resample(%d)", w.Name, seed),
+		Statements: make([]Statement, len(w.Statements)),
+	}
+	if len(w.Labels) == len(w.Statements) {
+		out.Labels = append([]string(nil), w.Labels...)
+	}
+	blocks := w.BlockLabels()
+	if len(blocks) == 0 && len(w.Statements) > 0 {
+		blocks = []Block{{Start: 0, Count: len(w.Statements)}}
+	}
+	for _, b := range blocks {
+		for i := b.Start; i < b.Start+b.Count; i++ {
+			out.Statements[i] = w.Statements[b.Start+rng.Intn(b.Count)]
+		}
+	}
+	return out
+}
