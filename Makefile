@@ -6,7 +6,7 @@ GO ?= go
 # fails.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1 explain-smoke
+.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1 explain-smoke fuzz-smoke
 
 all: tier1
 
@@ -51,6 +51,14 @@ cover-check:
 # -race so the recovery paths are also proven data-race free.
 chaos:
 	$(GO) test -race -run TestResilientSolveUnderChaos -v ./internal/chaos/
+
+# fuzz-smoke runs the kernel-equivalence fuzzer briefly: random
+# problems solved with both the dense and hypercube transition kernels
+# must agree on feasibility and cost (see internal/core/kernel_test.go).
+# CI runs this as a smoke test; longer local campaigns just raise
+# -fuzztime.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=20s ./internal/core/
 
 # explain-smoke drives the decision-provenance layer end to end on a
 # tiny phase-structured trace: a 20-statement A/C plan, a k=2 solve

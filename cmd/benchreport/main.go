@@ -147,6 +147,30 @@ var (
 // which would make the cell a timeout, not a benchmark.
 const rankingPruned core.Strategy = "ranking+prune"
 
+// kawareDense and kawareHyper are the lattice cells' strategies: the
+// exact k-aware solve with the transition kernel forced, over the full
+// 2^structs configuration lattice. They measure the tentpole speedup —
+// O(m·2^m) hypercube sweeps against the O(4^m) dense all-pairs scan —
+// on identical problems, so their solution pins must agree exactly.
+const (
+	kawareDense core.Strategy = "kaware+dense"
+	kawareHyper core.Strategy = "kaware+hyper"
+)
+
+// latticeCells are the wide exact-solve grid points: structs index
+// structures, 2^structs candidate configurations. The dense kernel is
+// only measured at 8 structures — at 10 its 4^10 all-pairs relaxations
+// make the cell a timeout, which is exactly the blowup the hypercube
+// kernel removes.
+var latticeCells = []struct {
+	strat   core.Strategy
+	structs int
+}{
+	{kawareDense, 8},
+	{kawareHyper, 8},
+	{kawareHyper, 10},
+}
+
 // solveCell dispatches one grid solve.
 func solveCell(ctx context.Context, p *core.Problem, strat core.Strategy) (*core.Solution, error) {
 	if strat == rankingPruned {
@@ -189,7 +213,97 @@ func runGrid(benchtime string) (*Report, error) {
 			}
 		}
 	}
+	for _, lc := range latticeCells {
+		for _, k := range gridK {
+			cell, err := runLatticeCell(ctx, lc.strat, 64, lc.structs, k)
+			if err != nil {
+				return nil, fmt.Errorf("cell %s/structs=%d/k=%d: %w", lc.strat, lc.structs, k, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(os.Stderr, "  %-32s %12.0f ns/op %8d allocs/op\n",
+				cell.key(), cell.NsPerOp, cell.AllocsPerOp)
+		}
+	}
+	if err := checkKernelPins(rep.Cells); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// checkKernelPins hard-fails the run when the dense and hypercube
+// kernels disagree on any lattice cell they both solved: both kernels
+// are exact, so a differing cost or change count is a correctness bug
+// that must never make it into a report.
+func checkKernelPins(cells []Cell) error {
+	type pinKey struct{ n, m, k int }
+	dense := make(map[pinKey]Cell)
+	for _, c := range cells {
+		if c.Strategy == string(kawareDense) {
+			dense[pinKey{c.N, c.M, c.K}] = c
+		}
+	}
+	for _, c := range cells {
+		if c.Strategy != string(kawareHyper) {
+			continue
+		}
+		d, ok := dense[pinKey{c.N, c.M, c.K}]
+		if !ok {
+			continue
+		}
+		if c.Cost != d.Cost || c.Changes != d.Changes {
+			return fmt.Errorf("kernel disagreement at n=%d m=%d k=%d: dense (cost %.6f, %d changes) vs hypercube (cost %.6f, %d changes)",
+				c.N, c.M, c.K, d.Cost, d.Changes, c.Cost, c.Changes)
+		}
+	}
+	return nil
+}
+
+// runLatticeCell measures one exact k-aware solve over the full
+// 2^structs lattice with the transition kernel forced; M reports the
+// candidate-configuration count like every other cell.
+func runLatticeCell(ctx context.Context, strat core.Strategy, n, structs, k int) (Cell, error) {
+	model := newLatticeModel(n, structs, 6)
+	kernel := core.KernelDense
+	if strat == kawareHyper {
+		kernel = core.KernelHypercube
+	}
+	p := &core.Problem{
+		Stages:  n,
+		Configs: model.latticeConfigs(),
+		K:       k,
+		Policy:  core.FreeEndpoints,
+		Model:   model,
+		Kernel:  kernel,
+	}
+	sol, err := core.Solve(ctx, p, core.StrategyKAware)
+	if err != nil {
+		return Cell{}, err
+	}
+	calls, hits := model.stats()
+	cell := Cell{
+		Strategy:    string(strat),
+		N:           n,
+		M:           len(p.Configs),
+		K:           k,
+		WhatIfCalls: calls,
+		Cost:        sol.Cost,
+		Changes:     sol.Changes,
+	}
+	if calls > 0 {
+		cell.CacheHitRate = float64(hits) / float64(calls)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(ctx, p, core.StrategyKAware); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cell.NsPerOp = float64(res.NsPerOp())
+	cell.AllocsPerOp = res.AllocsPerOp()
+	cell.BytesPerOp = res.AllocedBytesPerOp()
+	return cell, nil
 }
 
 // runCell measures one grid point: a cold solve for the what-if

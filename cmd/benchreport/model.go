@@ -20,8 +20,9 @@ import (
 // what-if optimizer invocations, hits to cache hits. It is safe for
 // concurrent use, as CostModel requires.
 type syntheticModel struct {
-	n, m   int
-	phases int
+	n, m    int // stages, candidate configurations
+	structs int // underlying index structures
+	phases  int
 
 	mu    sync.Mutex
 	exec  map[execKey]float64
@@ -46,7 +47,20 @@ func splitmix64(x uint64) uint64 {
 
 func newSyntheticModel(n, m, phases int) *syntheticModel {
 	return &syntheticModel{
-		n: n, m: m,
+		n: n, m: m, structs: m - 1,
+		phases: phases,
+		exec:   make(map[execKey]float64, n*m),
+	}
+}
+
+// newLatticeModel builds the model over the full 2^structs configuration
+// lattice — the shape that exercises the hypercube kernel cells (the
+// single-index grid keeps candidate sets narrow enough that the dense
+// kernel always wins the auto comparison).
+func newLatticeModel(n, structs, phases int) *syntheticModel {
+	m := 1 << uint(structs)
+	return &syntheticModel{
+		n: n, m: m, structs: structs,
 		phases: phases,
 		exec:   make(map[execKey]float64, n*m),
 	}
@@ -64,10 +78,20 @@ func (sm *syntheticModel) configs() []core.Config {
 	return out
 }
 
+// latticeConfigs returns every subset of the structures — the 2^structs
+// candidate list of the hypercube cells.
+func (sm *syntheticModel) latticeConfigs() []core.Config {
+	out := make([]core.Config, 1<<uint(sm.structs))
+	for i := range out {
+		out[i] = core.Config(i)
+	}
+	return out
+}
+
 // preferred returns the index structure the stage's phase favors.
 func (sm *syntheticModel) preferred(stage int) int {
 	phase := stage * sm.phases / sm.n
-	return int(splitmix64(benchSeed^uint64(phase)) % uint64(sm.m-1))
+	return int(splitmix64(benchSeed^uint64(phase)) % uint64(sm.structs))
 }
 
 // Exec returns a low cost under the phase's preferred index and a high
@@ -102,6 +126,20 @@ func (sm *syntheticModel) Exec(stage int, c core.Config) float64 {
 func (sm *syntheticModel) Trans(from, to core.Config) float64 {
 	added, removed := from.Diff(to)
 	return 40*float64(len(added)) + 5*float64(len(removed))
+}
+
+// TransParts implements core.AdditiveTransModel: Trans above is exactly
+// 40 per structure built plus 5 per structure dropped, so the exact
+// solvers may use the hypercube kernel when it wins the cost comparison
+// (the single-index grid cells never do; the lattice cells always do).
+func (sm *syntheticModel) TransParts() (add, drop []float64) {
+	add = make([]float64, sm.structs)
+	drop = make([]float64, sm.structs)
+	for s := range add {
+		add[s] = 40
+		drop[s] = 5
+	}
+	return add, drop
 }
 
 // Size counts structures; the grid leaves SpaceBound unset, so this

@@ -279,6 +279,20 @@ func (m *whatIfModel) Trans(from, to core.Config) float64 {
 	return total
 }
 
+// TransParts implements core.AdditiveTransModel: TRANS decomposes per
+// structure into one build cost per added index and one flat drop cost
+// per removed one — the capability that lets the exact solvers replace
+// the all-pairs relaxation with the hypercube lattice kernel.
+func (m *whatIfModel) TransParts() (add, drop []float64) {
+	add = make([]float64, len(m.phys))
+	drop = make([]float64, len(m.phys))
+	for s := range m.phys {
+		add[s] = cost.BuildCost(m.phys[s], m.table)
+		drop[s] = cost.DropCost()
+	}
+	return add, drop
+}
+
 // Size implements core.CostModel: total pages of the configuration.
 func (m *whatIfModel) Size(c core.Config) float64 {
 	total := 0.0
@@ -337,6 +351,7 @@ func (a *Advisor) Problem(w *workload.Workload, opts Options) (_ *core.Problem, 
 		K:          opts.K,
 		Policy:     opts.Policy,
 		Model:      model,
+		Cache:      core.NewSolveCache(),
 		Metrics:    &core.Metrics{},
 		Tracer:     opts.Tracer,
 	}

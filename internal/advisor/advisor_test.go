@@ -591,10 +591,14 @@ func TestRecommendationInstrumentation(t *testing.T) {
 	if rec.MatrixBuildTime <= 0 {
 		t.Errorf("MatrixBuildTime = %v, want > 0", rec.MatrixBuildTime)
 	}
-	// The k-aware solve re-reads the same exec cells the validation pass
-	// and the matrix build already priced, so a healthy cache hits often.
-	if rec.Stats.CacheHits == 0 {
-		t.Error("cache recorded no hits on a full recommendation")
+	// The recommendation re-reads the exec cells the matrix build already
+	// priced when it costs the final design: either the exec memo absorbs
+	// those calls or the solve cache serves the replay from its tables.
+	if rec.Stats.CacheHits == 0 && rec.MatrixReuses == 0 {
+		t.Error("neither the exec memo nor the solve cache recorded a hit on a full recommendation")
+	}
+	if rec.MatrixReuses <= 0 {
+		t.Errorf("MatrixReuses = %d, want > 0 (cost replays should be served from cached tables)", rec.MatrixReuses)
 	}
 	// The rendered report carries the instrumentation line.
 	var sb strings.Builder

@@ -30,9 +30,12 @@ type Recommendation struct {
 	Stats CostStats
 	// MatrixBuilds and MatrixBuildTime describe the dense cost-table
 	// evaluations the solver performed; concurrent builds accumulate
-	// their individual durations.
+	// their individual durations. MatrixReuses counts the table reads
+	// (solver fetches and cost replays) the solve cache served without
+	// touching the model.
 	MatrixBuilds    int64
 	MatrixBuildTime time.Duration
+	MatrixReuses    int64
 	// Rung is the strategy that actually produced the solution: the
 	// requested strategy on a clean solve, a lower ladder rung (or
 	// core.RungLastKnownGood) when the resilient supervisor degraded.
@@ -71,6 +74,7 @@ func (r *Recommendation) fillInstrumentation(p *core.Problem) {
 	}
 	r.MatrixBuilds = p.Metrics.MatrixBuilds()
 	r.MatrixBuildTime = p.Metrics.MatrixBuildTime()
+	r.MatrixReuses = p.Metrics.MatrixReuses()
 	r.Degradations = p.Metrics.Degradations()
 	r.Cancellations = p.Metrics.Cancellations()
 	r.RecoveredPanics = p.Metrics.RecoveredPanics()
@@ -215,9 +219,9 @@ func (r *Recommendation) Render(w io.Writer) {
 		r.Problem.Stages, len(r.Problem.Configs), k, r.Problem.Policy)
 	fmt.Fprintf(w, "  estimated sequence cost: %.0f pages   changes used: %d\n",
 		r.Solution.Cost, r.Solution.Changes)
-	fmt.Fprintf(w, "  what-if calls: %d   cache hit rate: %.1f%%   matrix build: %.1f ms (%d builds)\n",
+	fmt.Fprintf(w, "  what-if calls: %d   cache hit rate: %.1f%%   matrix build: %.1f ms (%d builds, %d cached reads)\n",
 		r.Stats.WhatIfCalls, 100*r.Stats.HitRate(),
-		float64(r.MatrixBuildTime.Microseconds())/1000, r.MatrixBuilds)
+		float64(r.MatrixBuildTime.Microseconds())/1000, r.MatrixBuilds, r.MatrixReuses)
 	r.RenderRobustness(w)
 	steps := r.Steps()
 	if len(steps) == 0 {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sync"
+)
+
+// SolveCache memoizes the dense cost tables across solves that share a
+// cost model: the hybrid's unconstrained seed plus its constrained run,
+// a SweepK after the Solve whose layers it exposes, and the explain
+// audit's oracle-solve-then-replay of each perturbed problem. Problems
+// do not cache by default — attach one explicitly (the advisor does)
+// and share it by copying the Problem, the same way Metrics is shared.
+//
+// The cache retains the single most recent table set, keyed by the
+// model identity, stage count, endpoints, and candidate list; a solve
+// with any other key rebuilds and replaces the entry. Tables containing
+// non-finite cells (a FallibleModel reporting a fault as +Inf) are
+// returned to the requesting solve but never retained, so a healthy
+// retry after a fault cannot observe poisoned cells. All methods are
+// safe for concurrent use; concurrent builds of the same family
+// serialize on the cache so the model is evaluated once.
+type SolveCache struct {
+	mu    sync.Mutex
+	entry *cacheEntry
+}
+
+type cacheEntry struct {
+	model   CostModel
+	stages  int
+	initial Config
+	final   *Config
+	configs []Config
+	m       *matrices
+}
+
+// NewSolveCache returns an empty cache ready to attach to a Problem.
+func NewSolveCache() *SolveCache { return &SolveCache{} }
+
+// comparableModel guards the interface comparisons the cache key needs:
+// a model of a non-comparable dynamic type (all the repo's models are
+// pointers, hence comparable) simply disables caching rather than
+// risking a comparison panic.
+func comparableModel(m CostModel) bool {
+	return m != nil && reflect.TypeOf(m).Comparable()
+}
+
+func (e *cacheEntry) matches(p *Problem, configs []Config) bool {
+	if e == nil || e.model != p.Model || e.stages != p.Stages || e.initial != p.Initial {
+		return false
+	}
+	if (e.final == nil) != (p.Final == nil) {
+		return false
+	}
+	if e.final != nil && *e.final != *p.Final {
+		return false
+	}
+	if len(e.configs) != len(configs) {
+		return false
+	}
+	for i, c := range e.configs {
+		if c != configs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tables returns the cached tables for the problem, building (or
+// upgrading with the all-pairs TRANS rows) on miss.
+func (c *SolveCache) tables(ctx context.Context, p *Problem, configs []Config, needTrans bool) (*matrices, error) {
+	if !comparableModel(p.Model) {
+		return p.buildMatrices(ctx, configs, needTrans)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entry.matches(p, configs) {
+		m := c.entry.m
+		if !needTrans || m.trans != nil {
+			p.Metrics.noteMatrixReuse()
+			return m, nil
+		}
+		// Upgrade: the entry was built for the hypercube kernel; a dense
+		// consumer additionally needs the all-pairs TRANS rows. Readers
+		// that took the entry earlier never touch the trans field (they
+		// asked for needTrans=false), so attaching it under the lock is
+		// safe; SequenceCostSplit readers go through peek's copy.
+		trans, err := p.buildTransRows(ctx, configs)
+		if err != nil {
+			return nil, err
+		}
+		if rowsFinite(trans) {
+			m.trans = trans
+			p.Metrics.noteMatrixReuse()
+			return m, nil
+		}
+		faulted := *m
+		faulted.trans = trans
+		return &faulted, nil
+	}
+	m, err := p.buildMatrices(ctx, configs, needTrans)
+	if err != nil {
+		return nil, err
+	}
+	if m.finite() {
+		var final *Config
+		if p.Final != nil {
+			f := *p.Final
+			final = &f
+		}
+		c.entry = &cacheEntry{
+			model: p.Model, stages: p.Stages, initial: p.Initial,
+			final: final, configs: configs, m: m,
+		}
+	}
+	return m, nil
+}
+
+// peek returns a stable view of the cached tables when they were built
+// against this problem's model and stage count, and nil otherwise. The
+// shallow copy decouples the caller from a concurrent trans-row upgrade;
+// the row slices themselves are immutable once published. Endpoints and
+// candidate filtering are deliberately not part of the check: the view
+// is consumed through per-Config index lookups of verbatim model
+// outputs, which are correct for any endpoints.
+func (c *SolveCache) peek(p *Problem) *matrices {
+	if c == nil || !comparableModel(p.Model) {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entry
+	if e == nil || e.model != p.Model || e.stages != p.Stages {
+		return nil
+	}
+	p.Metrics.noteMatrixReuse()
+	view := *e.m
+	return &view
+}
+
+func finiteCell(v float64) bool {
+	return !math.IsInf(v, 0) && !math.IsNaN(v)
+}
+
+func rowsFinite(rows [][]float64) bool {
+	for _, row := range rows {
+		for _, v := range row {
+			if !finiteCell(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finite reports whether every built cell is finite — the retention
+// criterion that keeps faulted evaluations out of the cache.
+func (m *matrices) finite() bool {
+	if !rowsFinite(m.exec) || !rowsFinite(m.trans) {
+		return false
+	}
+	for _, v := range m.initTrans {
+		if !finiteCell(v) {
+			return false
+		}
+	}
+	for _, v := range m.finalTrans {
+		if !finiteCell(v) {
+			return false
+		}
+	}
+	return true
+}

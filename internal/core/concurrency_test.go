@@ -21,11 +21,11 @@ func TestBuildMatricesParallelMatchesSerial(t *testing.T) {
 	parallel := *serial
 	parallel.Parallelism = 8
 
-	ms, err := serial.buildMatrices(bg, configs)
+	ms, err := serial.buildMatrices(bg, configs, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp, err := parallel.buildMatrices(bg, configs)
+	mp, err := parallel.buildMatrices(bg, configs, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -167,6 +167,16 @@ type Problem struct {
 	// path. The parallel and serial paths produce bit-identical
 	// results.
 	Parallelism int
+	// Kernel selects the min-plus transition kernel of the exact graph
+	// solvers. The KernelAuto default picks the hypercube lattice
+	// relaxation when the model reports additive transitions and the
+	// lattice is cheaper than the all-pairs scan; see TransKernel.
+	Kernel TransKernel
+	// Cache, when non-nil, memoizes the dense cost tables across solves
+	// sharing this model (see SolveCache). Copies of the Problem share
+	// the pointer, the same way Metrics is shared; the nil default
+	// rebuilds tables per solve.
+	Cache *SolveCache
 	// Metrics, when non-nil, accumulates solver instrumentation.
 	// Copies of the Problem share the pointer and hence the counters.
 	Metrics *Metrics
@@ -296,6 +306,13 @@ func (p *Problem) SequenceCost(designs []Config) float64 {
 // exec + trans is, bit for bit, the Cost a Solution reports — the
 // invariant the explain layer's attribution depends on.
 func (p *Problem) SequenceCostSplit(designs []Config) (exec, trans float64) {
+	// Replays over a cached table set skip the per-term model calls —
+	// the hot loop of CheckSolution and the explain/audit replays. The
+	// cached cells are verbatim model outputs accumulated in the same
+	// order, so the fast path is bit-identical to the model path.
+	if m := p.Cache.peek(p); m != nil {
+		return m.sequenceCostSplit(p, designs)
+	}
 	prev := p.Initial
 	for i, c := range designs {
 		trans += p.Model.Trans(prev, c)
@@ -306,6 +323,48 @@ func (p *Problem) SequenceCostSplit(designs []Config) (exec, trans float64) {
 		trans += p.Model.Trans(prev, *p.Final)
 	}
 	return exec, trans
+}
+
+// sequenceCostSplit is SequenceCostSplit over cached tables. Every term
+// present in the tables is the verbatim model output, and zero-cost
+// identity hops are skipped rather than accumulated (x + 0 == x for the
+// non-negative sums involved), so the result is bit for bit the model
+// path's. Terms the tables do not cover — a stage beyond the cached
+// range, an endpoint outside the candidate list, or a TRANS hop when
+// the hypercube kernel skipped the all-pairs table — fall back to the
+// model per term.
+func (m *matrices) sequenceCostSplit(p *Problem, designs []Config) (exec, trans float64) {
+	prev := p.Initial
+	for i, c := range designs {
+		if c != prev {
+			trans += m.transTerm(p, prev, c)
+		}
+		if i < len(m.exec) {
+			if j, ok := m.index[c]; ok {
+				exec += m.exec[i][j]
+			} else {
+				exec += p.Model.Exec(i, c)
+			}
+		} else {
+			exec += p.Model.Exec(i, c)
+		}
+		prev = c
+	}
+	if p.Final != nil && prev != *p.Final {
+		trans += m.transTerm(p, prev, *p.Final)
+	}
+	return exec, trans
+}
+
+func (m *matrices) transTerm(p *Problem, from, to Config) float64 {
+	if m.trans != nil {
+		if f, ok := m.index[from]; ok {
+			if t, ok := m.index[to]; ok {
+				return m.trans[f][t]
+			}
+		}
+	}
+	return p.Model.Trans(from, to)
 }
 
 // NewSolution packages a design sequence with its cost and change count.

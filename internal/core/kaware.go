@@ -22,20 +22,28 @@ type layeredDP struct {
 	cost []float64
 	// parents[i][idx(c,l)] is the configuration index used at stage i-1;
 	// the predecessor layer is l when the configuration is unchanged and
-	// l-1 otherwise.
+	// l-1 otherwise. All stage tables share one backing array.
 	parents [][]int32
 	stages  int
 }
 
-func (d *layeredDP) idx(c, l int) int { return c*d.layers + l }
+// idx is layer-major so each layer's cost row is one contiguous slice —
+// exactly the shape the transition kernels relax and the layer-parallel
+// sweep partitions.
+func (d *layeredDP) idx(c, l int) int { return l*len(d.configs) + c }
 
 // runLayeredDP executes the paper's k-aware sequence-graph relaxation
 // (§3) over the given number of layers: layer l holds the paths that
 // have made exactly l design changes so far. Staying in a configuration
-// keeps the layer; switching moves one layer down. The sweep checks the
-// context between stages, so cancellation latency is bounded by one
-// O(layers·m²) relaxation.
-func (p *Problem) runLayeredDP(ctx context.Context, m *matrices, configs []Config, layers int) (*layeredDP, error) {
+// keeps the layer; switching moves one layer down through the kernel's
+// move relaxation — O(layers·m²) per stage dense, O(layers·m'·2^m')
+// hypercube. Layers relax independently (each reads the frozen previous
+// stage), so stages with enough configurations fan the layer sweep out
+// across the worker pool; every layer is owned by exactly one worker,
+// which keeps the output bit-identical to the serial sweep. The stage
+// loop checks the context between stages, so cancellation latency is
+// bounded by one relaxation.
+func (p *Problem) runLayeredDP(ctx context.Context, m *matrices, kern transRelaxer, configs []Config, layers int) (*layeredDP, error) {
 	nc := len(configs)
 	d := &layeredDP{configs: configs, m: m, layers: layers, stages: p.Stages}
 	inf := math.Inf(1)
@@ -44,6 +52,10 @@ func (p *Problem) runLayeredDP(ctx context.Context, m *matrices, configs []Confi
 	for i := range cost {
 		cost[i] = inf
 	}
+	// live[l] tracks whether layer l holds any reachable state, letting
+	// the sweep skip stay reads and whole move relaxations into dead
+	// layers (early stages have only the shallow layers populated).
+	live := make([]bool, layers)
 	for j, c := range configs {
 		startLayer := 0
 		if p.Policy == CountAll && c != p.Initial {
@@ -52,52 +64,110 @@ func (p *Problem) runLayeredDP(ctx context.Context, m *matrices, configs []Confi
 		if startLayer >= layers {
 			continue // K = 0 under CountAll: only the initial design is usable
 		}
-		cost[d.idx(j, startLayer)] = m.initTrans[j] + m.exec[0][j]
+		v := m.initTrans[j] + m.exec[0][j]
+		cost[startLayer*nc+j] = v
+		if !math.IsInf(v, 1) {
+			live[startLayer] = true
+		}
 	}
 
+	// One backing array serves every stage's parent table, and the move
+	// and lattice scratch buffers are reused across all stages (and all
+	// SweepK layers): the per-stage allocations the sweep used to make
+	// are gone.
 	d.parents = make([][]int32, p.Stages)
+	if p.Stages > 1 {
+		backing := make([]int32, (p.Stages-1)*nc*layers)
+		for i := 1; i < p.Stages; i++ {
+			d.parents[i] = backing[(i-1)*nc*layers : i*nc*layers : i*nc*layers]
+		}
+	}
 	next := make([]float64, nc*layers)
+	move := make([]float64, nc*layers)
+	moveFrom := make([]int32, nc*layers)
+	var scratch []*latticeScratch
+	if kern.needsScratch() {
+		scratch = make([]*latticeScratch, layers)
+		for l := 1; l < layers; l++ {
+			scratch[l] = kern.newScratch()
+		}
+	}
+	nextLive := make([]bool, layers)
+	workers := p.workers()
+
 	for i := 1; i < p.Stages; i++ {
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
 		sweep := p.Tracer.Start(SpanKAwareSweep)
-		parent := make([]int32, nc*layers)
-		for x := range next {
-			next[x] = inf
-			parent[x] = -1
-		}
-		for f := 0; f < nc; f++ {
-			for l := 0; l < layers; l++ {
-				v := cost[d.idx(f, l)]
+		parent := d.parents[i]
+		execRow := m.exec[i]
+		relaxLayer := func(l int) {
+			base := l * nc
+			outRow := next[base : base+nc]
+			parRow := parent[base : base+nc]
+			stayRow := cost[base : base+nc]
+			var moveRow []float64
+			var moveSrc []int32
+			if l > 0 && live[l-1] {
+				moveRow = move[base : base+nc]
+				moveSrc = moveFrom[base : base+nc]
+				var scr *latticeScratch
+				if scratch != nil {
+					scr = scratch[l]
+				}
+				kern.relaxMove(cost[(l-1)*nc:base], moveRow, moveSrc, scr)
+			}
+			anyLive := false
+			for t := 0; t < nc; t++ {
+				// Stay in the same configuration (same layer) vs switch in
+				// from the layer above; the stay state wins exact ties.
+				v := inf
+				from := int32(-1)
+				if live[l] {
+					if sv := stayRow[t]; sv < v {
+						v = sv
+						from = int32(t)
+					}
+				}
+				if moveRow != nil {
+					if mv := moveRow[t]; mv < v {
+						v = mv
+						from = moveSrc[t]
+					}
+				}
 				if math.IsInf(v, 1) {
+					outRow[t] = inf
+					parRow[t] = -1
 					continue
 				}
-				// Stay in the same configuration: same layer.
-				stay := v + m.exec[i][f]
-				if stay < next[d.idx(f, l)] {
-					next[d.idx(f, l)] = stay
-					parent[d.idx(f, l)] = int32(f)
-				}
-				// Switch configurations: one layer deeper.
-				if l+1 >= layers {
+				nv := v + execRow[t]
+				if math.IsInf(nv, 1) {
+					outRow[t] = inf
+					parRow[t] = -1
 					continue
 				}
-				for j := 0; j < nc; j++ {
-					if j == f {
-						continue
-					}
-					sw := v + m.trans[f][j] + m.exec[i][j]
-					if sw < next[d.idx(j, l+1)] {
-						next[d.idx(j, l+1)] = sw
-						parent[d.idx(j, l+1)] = int32(f)
-					}
-				}
+				outRow[t] = nv
+				parRow[t] = from
+				anyLive = true
+			}
+			nextLive[l] = anyLive
+		}
+		if layers >= 2 && nc >= parallelSweepMinConfigs {
+			if err := parallelFor(ctx, workers, layers, relaxLayer); err != nil {
+				sweep.End(obs.Int("stage", int64(i)), obs.Int("layers", int64(layers)),
+					obs.Int("configs", int64(nc)), obs.String("kernel", kern.name()))
+				return nil, err
+			}
+		} else {
+			for l := 0; l < layers; l++ {
+				relaxLayer(l)
 			}
 		}
 		cost, next = next, cost
-		d.parents[i] = parent
-		sweep.End(obs.Int("stage", int64(i)), obs.Int("layers", int64(layers)), obs.Int("configs", int64(nc)))
+		copy(live, nextLive)
+		sweep.End(obs.Int("stage", int64(i)), obs.Int("layers", int64(layers)),
+			obs.Int("configs", int64(nc)), obs.String("kernel", kern.name()))
 	}
 	d.cost = cost
 	return d, nil
@@ -152,7 +222,9 @@ func (d *layeredDP) backtrack(cfg, layer int) []Config {
 // design via the paper's k-aware sequence graph (§3): the sequence graph
 // replicated into K+1 layers, where layer l holds the paths that have
 // made exactly l design changes so far. The shortest path over the
-// layered DAG is the constrained optimum, found in O(K·n·m²).
+// layered DAG is the constrained optimum, found in O(K·n·m²) with the
+// dense kernel and O(K·n·m'·2^m') with the hypercube kernel over m'
+// underlying structures (DESIGN.md §12).
 //
 // With K == Unconstrained it reduces to SolveUnconstrained.
 func SolveKAware(ctx context.Context, p *Problem) (*Solution, error) {
@@ -166,11 +238,12 @@ func SolveKAware(ctx context.Context, p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := p.buildMatrices(ctx, configs)
+	ch := resolveKernel(p, configs)
+	m, err := p.tables(ctx, configs, ch.needTrans())
 	if err != nil {
 		return nil, err
 	}
-	d, err := p.runLayeredDP(ctx, m, configs, p.K+1)
+	d, err := p.runLayeredDP(ctx, m, ch.kernel(m), configs, p.K+1)
 	if err != nil {
 		return nil, err
 	}
@@ -222,11 +295,12 @@ func SweepK(ctx context.Context, p *Problem, maxK int) ([]KSweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := p.buildMatrices(ctx, configs)
+	ch := resolveKernel(p, configs)
+	m, err := p.tables(ctx, configs, ch.needTrans())
 	if err != nil {
 		return nil, err
 	}
-	d, err := p.runLayeredDP(ctx, m, configs, maxK+1)
+	d, err := p.runLayeredDP(ctx, m, ch.kernel(m), configs, maxK+1)
 	if err != nil {
 		return nil, err
 	}

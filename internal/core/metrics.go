@@ -13,6 +13,7 @@ import (
 type Metrics struct {
 	matrixBuilds     atomic.Int64
 	matrixBuildNanos atomic.Int64
+	matrixReuses     atomic.Int64
 	degradations     atomic.Int64
 	cancellations    atomic.Int64
 	recoveredPanics  atomic.Int64
@@ -44,6 +45,25 @@ func (m *Metrics) MatrixBuildTime() time.Duration {
 		return 0
 	}
 	return time.Duration(m.matrixBuildNanos.Load())
+}
+
+// noteMatrixReuse records one table read served from a SolveCache
+// entry instead of re-evaluating the cost model — a solver's table
+// fetch or a sequence-cost replay.
+func (m *Metrics) noteMatrixReuse() {
+	if m == nil {
+		return
+	}
+	m.matrixReuses.Add(1)
+}
+
+// MatrixReuses returns how many table reads (solver fetches and cost
+// replays) were served from the solve cache instead of the model.
+func (m *Metrics) MatrixReuses() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.matrixReuses.Load()
 }
 
 // noteDegradation records one rung of the resilient supervisor failing

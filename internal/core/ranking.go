@@ -5,7 +5,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 
 	"dyndesign/internal/obs"
 )
@@ -131,9 +130,15 @@ func SolveRanking(ctx context.Context, p *Problem, opts RankingOptions) (*Rankin
 	if err != nil {
 		return nil, err
 	}
-	m, err := p.buildMatrices(ctx, configs)
+	ch := resolveKernel(p, configs)
+	m, err := p.tables(ctx, configs, ch.needTrans())
 	if err != nil {
 		return nil, err
+	}
+	kern := ch.kernel(m)
+	var scr *latticeScratch
+	if kern.needsScratch() {
+		scr = kern.newScratch()
 	}
 	nc := len(configs)
 	budget := opts.MaxExpansions
@@ -144,10 +149,12 @@ func SolveRanking(ctx context.Context, p *Problem, opts RankingOptions) (*Rankin
 	// Exact cost-to-go: h[i][c] is the cheapest completion after
 	// executing stage i under configs[c] (including the final
 	// transition when constrained). Stages depend on each other, but
-	// within a stage every row cell is independent, so wide candidate
-	// sets are swept by a worker pool; narrow ones (the paper's 7
-	// configurations) stay on the serial loop, where goroutine overhead
-	// would dwarf the O(nc²) arithmetic.
+	// within a stage the kernel's backward relaxation is independent per
+	// cell, so the dense kernel sweeps wide candidate sets with a worker
+	// pool; narrow ones (the paper's 7 configurations) stay on the
+	// serial loop, where goroutine overhead would dwarf the O(nc²)
+	// arithmetic. The hypercube kernel's sweep is one serial lattice
+	// pass, already cheaper than the fan-out.
 	sweep := p.Tracer.Start(SpanRankingSweep)
 	h := make([][]float64, p.Stages)
 	last := make([]float64, nc)
@@ -161,22 +168,15 @@ func SolveRanking(ctx context.Context, p *Problem, opts RankingOptions) (*Rankin
 	}
 	for i := p.Stages - 2; i >= 0; i-- {
 		row := make([]float64, nc)
-		err := parallelFor(ctx, sweepWorkers, nc, func(c int) {
-			best := math.Inf(1)
-			for j := 0; j < nc; j++ {
-				if v := m.trans[c][j] + m.exec[i+1][j] + h[i+1][j]; v < best {
-					best = v
-				}
-			}
-			row[c] = best
-		})
-		if err != nil {
-			sweep.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)), obs.Bool("ok", false))
+		if err := kern.relaxBack(ctx, sweepWorkers, m.exec[i+1], h[i+1], row, scr); err != nil {
+			sweep.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)),
+				obs.String("kernel", kern.name()), obs.Bool("ok", false))
 			return nil, err
 		}
 		h[i] = row
 	}
-	sweep.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)), obs.Bool("ok", true))
+	sweep.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)),
+		obs.String("kernel", kern.name()), obs.Bool("ok", true))
 
 	frontier := &pathHeap{}
 	for c := 0; c < nc; c++ {
@@ -241,7 +241,7 @@ func SolveRanking(ctx context.Context, p *Problem, opts RankingOptions) (*Rankin
 			if opts.Prune && int(changes) > p.K {
 				continue
 			}
-			g := node.g + m.trans[node.cfg][c] + m.exec[next][c]
+			g := node.g + kern.transCost(int(node.cfg), c) + m.exec[next][c]
 			heap.Push(frontier, &pathNode{
 				stage: next, cfg: int32(c), changes: changes,
 				g: g, f: g + h[next][c], parent: node,

@@ -16,15 +16,33 @@ import (
 // in reported costs (solutions recompute their cost from the model).
 const changeEpsilon = 1e-9
 
-// matrices precomputes every cost term a graph solver needs: EXEC per
-// (stage, configuration), TRANS between every configuration pair, and
-// the endpoint transitions. Solvers then run on dense float64 tables.
+// matrices precomputes the cost terms a graph solver needs: EXEC per
+// (stage, configuration), the endpoint transitions, and — for the dense
+// kernel only — TRANS between every configuration pair. Solvers then
+// run on dense float64 tables.
 type matrices struct {
-	configs    []Config
-	exec       [][]float64 // [stage][cfg]
-	trans      [][]float64 // [fromCfg][toCfg]
-	initTrans  []float64   // TRANS(C0, cfg)
-	finalTrans []float64   // TRANS(cfg, Final); nil when unconstrained
+	configs []Config
+	index   map[Config]int32 // configuration -> row/column index
+	exec    [][]float64      // [stage][cfg], verbatim model EXEC
+	// trans holds the raw model TRANS values (diagonal 0). Kernels add
+	// the changeEpsilon tie-break at use time — fl(raw + ε) is bit for
+	// bit the value the table used to bake in — which keeps the cells
+	// verbatim model outputs for cost replays. nil when the hypercube
+	// kernel made the all-pairs table unnecessary.
+	trans      [][]float64
+	initTrans  []float64 // TRANS(C0, cfg) + ε/2 (0 at C0)
+	finalTrans []float64 // TRANS(cfg, Final) + ε/2; nil when unconstrained
+}
+
+// tables returns the solver's cost tables, through the attached
+// SolveCache when the problem has one and directly from the model
+// otherwise. needTrans asks for the all-pairs TRANS table, which only
+// the dense kernel consumes.
+func (p *Problem) tables(ctx context.Context, configs []Config, needTrans bool) (*matrices, error) {
+	if p.Cache != nil {
+		return p.Cache.tables(ctx, p, configs, needTrans)
+	}
+	return p.buildMatrices(ctx, configs, needTrans)
 }
 
 // buildMatrices evaluates the cost model into dense tables over the
@@ -35,15 +53,23 @@ type matrices struct {
 // build is the solvers' dominant cancellation point: the pool checks the
 // context between rows, and an aborted build returns the cancellation
 // cause (or the *PanicError of a panicking model) instead of tables.
-func (p *Problem) buildMatrices(ctx context.Context, configs []Config) (_ *matrices, err error) {
+//
+// With needTrans false (the hypercube kernel), the O(m²) all-pairs
+// TRANS evaluation is skipped entirely — the saving that makes wide
+// candidate lattices affordable.
+func (p *Problem) buildMatrices(ctx context.Context, configs []Config, needTrans bool) (_ *matrices, err error) {
 	start := time.Now()
 	sp := p.Tracer.Start(SpanMatrixBuild)
 	defer func() {
 		sp.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(len(configs))),
-			obs.Bool("ok", err == nil))
+			obs.Bool("trans", needTrans), obs.Bool("ok", err == nil))
 	}()
 	workers := p.workers()
 	m := &matrices{configs: configs}
+	m.index = make(map[Config]int32, len(configs))
+	for j, c := range configs {
+		m.index[c] = int32(j)
+	}
 	m.exec = make([][]float64, p.Stages)
 	// The enabled check is hoisted out of the row closure: with the
 	// tracer off, the per-row cost is one branch on a captured bool
@@ -66,21 +92,11 @@ func (p *Problem) buildMatrices(ctx context.Context, configs []Config) (_ *matri
 	if err != nil {
 		return nil, err
 	}
-	m.trans = make([][]float64, len(configs))
-	err = parallelFor(ctx, workers, len(configs), func(i int) {
-		from := configs[i]
-		row := make([]float64, len(configs))
-		for j, to := range configs {
-			if i == j {
-				row[j] = 0
-				continue
-			}
-			row[j] = p.Model.Trans(from, to) + changeEpsilon
+	if needTrans {
+		m.trans, err = p.buildTransRows(ctx, configs)
+		if err != nil {
+			return nil, err
 		}
-		m.trans[i] = row
-	})
-	if err != nil {
-		return nil, err
 	}
 	m.initTrans = make([]float64, len(configs))
 	for j, c := range configs {
@@ -108,11 +124,32 @@ func (p *Problem) buildMatrices(ctx context.Context, configs []Config) (_ *matri
 	return m, nil
 }
 
+// buildTransRows evaluates the raw all-pairs TRANS table over the
+// worker pool (row ownership keeps it bit-identical to serial).
+func (p *Problem) buildTransRows(ctx context.Context, configs []Config) ([][]float64, error) {
+	trans := make([][]float64, len(configs))
+	err := parallelFor(ctx, p.workers(), len(configs), func(i int) {
+		from := configs[i]
+		row := make([]float64, len(configs))
+		for j, to := range configs {
+			if i != j {
+				row[j] = p.Model.Trans(from, to)
+			}
+		}
+		trans[i] = row
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trans, nil
+}
+
 // BuildCostTables forces one full evaluation of the dense EXEC/TRANS
 // cost tables over the usable candidate configurations — the
-// preprocessing every graph solver performs implicitly. It is exposed
-// so benchmarks and diagnostics can measure the costing layer in
-// isolation; regular callers just Solve.
+// preprocessing the dense-kernel graph solvers perform implicitly. It is
+// exposed so benchmarks and diagnostics can measure the costing layer in
+// isolation (it deliberately bypasses any attached SolveCache); regular
+// callers just Solve.
 func (p *Problem) BuildCostTables(ctx context.Context) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -121,17 +158,18 @@ func (p *Problem) BuildCostTables(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	_, err = p.buildMatrices(ctx, configs)
+	_, err = p.buildMatrices(ctx, configs, true)
 	return err
 }
 
 // SolveUnconstrained finds the optimal dynamic physical design with no
 // change bound: the shortest path through the sequence graph of Agrawal,
 // Chu and Narasayya. The sequence graph is a DAG with one node per
-// (stage, configuration); the shortest path is computed stage by stage
-// in O(n·m²) for m candidate configurations. The stage sweep checks the
-// context between stages, so cancellation latency is bounded by one
-// O(m²) relaxation.
+// (stage, configuration); the shortest path is computed stage by stage —
+// O(n·m²) with the dense kernel, O(n·m'·2^m') with the hypercube kernel
+// over m' underlying structures (see DESIGN.md §12). The stage sweep
+// checks the context between stages, so cancellation latency is bounded
+// by one relaxation.
 func SolveUnconstrained(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -140,9 +178,15 @@ func SolveUnconstrained(ctx context.Context, p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := p.buildMatrices(ctx, configs)
+	ch := resolveKernel(p, configs)
+	m, err := p.tables(ctx, configs, ch.needTrans())
 	if err != nil {
 		return nil, err
+	}
+	kern := ch.kernel(m)
+	var scr *latticeScratch
+	if kern.needsScratch() {
+		scr = kern.newScratch()
 	}
 	nc := len(configs)
 	dp := p.Tracer.Start(SpanSeqgraphDP)
@@ -151,30 +195,30 @@ func SolveUnconstrained(ctx context.Context, p *Problem) (*Solution, error) {
 	for j := 0; j < nc; j++ {
 		cost[j] = m.initTrans[j] + m.exec[0][j]
 	}
+	// One backing array serves every stage's parent row; reslicing it
+	// replaces the per-stage allocations the DP used to make.
 	parents := make([][]int32, p.Stages)
+	if p.Stages > 1 {
+		backing := make([]int32, (p.Stages-1)*nc)
+		for i := 1; i < p.Stages; i++ {
+			parents[i] = backing[(i-1)*nc : i*nc : i*nc]
+		}
+	}
 	next := make([]float64, nc)
 	for i := 1; i < p.Stages; i++ {
 		if err := ctxErr(ctx); err != nil {
-			dp.End(obs.Int("stages", int64(i)), obs.Int("configs", int64(nc)), obs.Bool("ok", false))
+			dp.End(obs.Int("stages", int64(i)), obs.Int("configs", int64(nc)),
+				obs.String("kernel", kern.name()), obs.Bool("ok", false))
 			return nil, err
 		}
-		parent := make([]int32, nc)
+		kern.relaxFull(cost, next, parents[i], scr)
 		for j := 0; j < nc; j++ {
-			best := math.Inf(1)
-			bestFrom := int32(-1)
-			for f := 0; f < nc; f++ {
-				if v := cost[f] + m.trans[f][j]; v < best {
-					best = v
-					bestFrom = int32(f)
-				}
-			}
-			next[j] = best + m.exec[i][j]
-			parent[j] = bestFrom
+			next[j] += m.exec[i][j]
 		}
 		cost, next = next, cost
-		parents[i] = parent
 	}
-	dp.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)), obs.Bool("ok", true))
+	dp.End(obs.Int("stages", int64(p.Stages)), obs.Int("configs", int64(nc)),
+		obs.String("kernel", kern.name()), obs.Bool("ok", true))
 
 	bestEnd := -1
 	bestCost := math.Inf(1)
