@@ -6,7 +6,7 @@ GO ?= go
 # fails.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1 explain-smoke fuzz-smoke
+.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1 explain-smoke fuzz-smoke advisord-smoke
 
 all: tier1
 
@@ -70,6 +70,14 @@ explain-smoke:
 	$(GO) run ./cmd/dyndesign -paper-rows 5000 -trace explain-trace.json -k 2 \
 		-audit-trials 3 -explain -explain-out explain.json
 	@test -s explain.json && echo "explain-smoke: explain.json written"
+
+# advisord-smoke exercises the long-running advisor service end to end
+# under the race detector: a real HTTP listener, a phase-shifting trace
+# streamed through POST /ingest, at least one drift-triggered re-solve
+# (asserted via /healthz counters — the trigger is the alerter, not a
+# timer), and a parseable GET /recommendation. See DESIGN.md §13.
+advisord-smoke:
+	$(GO) test -race -count=1 -run TestAdvisordSmoke -v ./cmd/advisord/
 
 # lint runs vet, gofmt, and staticcheck when the binary is present
 # (the check is skipped, not failed, on machines without it).

@@ -1,0 +1,195 @@
+// Command advisord is the long-running design advisor service: it
+// ingests a SQL statement stream over HTTP, maintains a sliding (or
+// tumbling) window of recent statements, and re-solves the constrained
+// dynamic design problem whenever the drift alerter — not a timer —
+// decides the installed design no longer fits the window.
+//
+// Endpoints:
+//
+//	POST /ingest          {"sql": "SELECT ..."} or {"statements": [{"label": "A", "sql": "..."}]}
+//	GET  /recommendation  last published design sequence, DDL steps, and provenance
+//	GET  /healthz         ingest/solve counters and memo occupancy
+//
+// Re-solves warm-start from state retained across windows: the what-if
+// EXEC memo (keyed by segment content, capped with clock eviction), the
+// dense cost-table cache (invalidated by model fingerprint), and the
+// last-known-good solution backing the resilient ladder's final rung.
+// Each solve runs under a deadline with the degradation ladder, and the
+// published recommendation is swapped atomically, so concurrent readers
+// always see a consistent last-known-good answer.
+//
+// Usage:
+//
+//	advisord -paper-rows 100000 -addr :8080 -k 2 -window 500
+//	advisord -setup schema.sql -table t -addr :8080 -metrics-addr :9090
+//
+// -metrics-addr serves the service gauges (advisord_*) in Prometheus
+// text format plus expvar and pprof; -trace-out writes solver spans as
+// JSONL (flushed on SIGTERM like the other CLIs). See DESIGN.md §13.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/alerter"
+	"dyndesign/internal/candidates"
+	"dyndesign/internal/core"
+	"dyndesign/internal/engine"
+	"dyndesign/internal/experiments"
+	"dyndesign/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "advisord: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
+	addr := flag.String("addr", ":8080", "service listen address")
+	setup := flag.String("setup", "", "SQL script creating and filling the database")
+	paperRows := flag.Int64("paper-rows", 0, "instead of -setup, build the paper's table with this many rows")
+	table := flag.String("table", "t", "table to tune")
+	k := flag.Int("k", 2, "change bound per window solve")
+	strategyFlag := flag.String("strategy", "kaware", "solver: kaware, greedyseq, merge, ranking, rankmerge, hybrid")
+	segment := flag.Int("segment", 1, "statements per optimization stage")
+	windowCap := flag.Int("window", 500, "sliding window capacity in statements")
+	tumbling := flag.Bool("tumbling", false, "reset the window at every re-solve instead of sliding it")
+	minSolve := flag.Int("min-statements", 25, "window fill that triggers the first solve")
+	memoCap := flag.Int("memo-cap", 1<<20, "retained what-if memo bound in entries (0 = unbounded)")
+	solveTimeout := flag.Duration("solve-timeout", 30*time.Second, "deadline per solve attempt (0 = none)")
+	fallback := flag.Bool("fallback", true, "degrade to cheaper strategies (and last-known-good) when a solve attempt fails")
+	parallelism := flag.Int("parallelism", 0, "worker bound for the cost-table build (0 = all cores, 1 = serial)")
+	explainFlag := flag.Bool("explain", true, "attach per-transition cost attribution to each recommendation")
+	alertWindow := flag.Int("alert-window", 0, "drift alerter window in statements (0 = default 500)")
+	alertEvery := flag.Int("alert-every", 0, "re-check drift every this many statements (0 = default 50)")
+	alertThreshold := flag.Float64("alert-threshold", 0, "relative improvement that counts as drift (0 = default 0.25)")
+	traceOut := flag.String("trace-out", "", "write solver spans as JSONL to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, expvar, and pprof at this address (e.g. :9090)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof at this address (may equal -metrics-addr)")
+	flag.Parse()
+
+	gauges := obs.NewGaugeSet()
+	tracer, obsTeardown, err := obs.Setup(obs.CLIConfig{
+		TracePath:   *traceOut,
+		MetricsAddr: *metricsAddr,
+		PprofAddr:   *pprofAddr,
+		SummaryW:    os.Stderr,
+		Gauges:      gauges,
+		// SIGTERM routes the JSONL tail flush through the signal path:
+		// spans emitted before the signal survive even if the process
+		// exits without running the deferred teardown.
+		FlushCtx: ctx,
+	})
+	if err != nil {
+		return err
+	}
+	defer obsTeardown()
+
+	db, err := buildDatabase(*setup, *paperRows, *table)
+	if err != nil {
+		return err
+	}
+	structures := candidates.PaperStructures(*table)
+	adv, err := advisor.New(db, advisor.DesignSpace{
+		Table:      *table,
+		Structures: structures,
+		Configs:    advisor.SingleIndexConfigs(len(structures)),
+	})
+	if err != nil {
+		return err
+	}
+	svc, err := newService(adv, serviceConfig{
+		WindowCap:   *windowCap,
+		Tumbling:    *tumbling,
+		MinSolve:    *minSolve,
+		MemoCap:     *memoCap,
+		K:           *k,
+		Strategy:    core.Strategy(*strategyFlag),
+		SegmentSize: *segment,
+		Timeout:     *solveTimeout,
+		Fallback:    *fallback,
+		Parallelism: *parallelism,
+		Explain:     *explainFlag,
+		Alerter: alerter.Options{
+			WindowSize: *alertWindow,
+			CheckEvery: *alertEvery,
+			Threshold:  *alertThreshold,
+		},
+		Tracer: tracer,
+		Gauges: gauges,
+	})
+	if err != nil {
+		return err
+	}
+
+	solverDone := make(chan struct{})
+	go func() {
+		defer close(solverDone)
+		svc.run(ctx)
+	}()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.mux()}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "advisord: serving on %s (window %d, k %d, drift-triggered re-solves)\n",
+		*addr, *windowCap, *k)
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		<-solverDone
+		return ctx.Err()
+	case err := <-srvErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		return err
+	}
+}
+
+// buildDatabase loads the table to tune, mirroring the dyndesign CLI:
+// either a SQL setup script or the paper's synthetic table.
+func buildDatabase(setup string, paperRows int64, table string) (*engine.Database, error) {
+	switch {
+	case paperRows > 0 && setup != "":
+		return nil, fmt.Errorf("use either -setup or -paper-rows, not both")
+	case paperRows > 0:
+		fmt.Fprintf(os.Stderr, "advisord: building paper table with %d rows...\n", paperRows)
+		return experiments.SetupPaperDatabase(experiments.Scale{Rows: paperRows, BlockSize: 1, Seed: 1})
+	case setup != "":
+		db := engine.New()
+		f, err := os.Open(setup)
+		if err != nil {
+			return nil, err
+		}
+		err = db.ExecScript(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Analyze(table); err != nil {
+			return nil, err
+		}
+		return db, nil
+	default:
+		return nil, fmt.Errorf("one of -setup or -paper-rows is required")
+	}
+}

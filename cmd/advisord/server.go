@@ -1,0 +1,576 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/alerter"
+	"dyndesign/internal/core"
+	"dyndesign/internal/explain"
+	"dyndesign/internal/obs"
+	"dyndesign/internal/workload"
+)
+
+// serviceConfig gathers everything the service needs beyond the advisor
+// itself. Zero values get sensible service defaults in newService.
+type serviceConfig struct {
+	// WindowCap is the sliding-window capacity in statements.
+	WindowCap int
+	// Tumbling resets the window at every re-solve (epoch semantics)
+	// instead of sliding it.
+	Tumbling bool
+	// MinSolve is the window fill that triggers the first solve; before
+	// it the service ingests without recommending.
+	MinSolve int
+	// MemoCap bounds the retained what-if memo (entries; 0 = unbounded).
+	MemoCap int
+
+	// K, Strategy, SegmentSize, Timeout, Fallback, and Parallelism
+	// configure every window solve (see advisor.Options). Final is
+	// never constrained: the stream continues past the window.
+	K           int
+	Strategy    core.Strategy
+	SegmentSize int
+	Timeout     time.Duration
+	Fallback    bool
+	Parallelism int
+
+	// Explain attaches per-transition cost attribution to each
+	// recommendation (sweep and audit stay off — they re-solve).
+	Explain bool
+
+	// Alerter tunes drift detection over the ingest stream.
+	Alerter alerter.Options
+
+	Tracer *obs.Tracer
+	Gauges *obs.GaugeSet
+}
+
+// snapshot is one published recommendation: the pre-marshaled response
+// body plus the window mutation counter it was solved at. Snapshots are
+// immutable after publication and swapped atomically, so any number of
+// concurrent /recommendation readers see a consistent last-known-good
+// answer while the next solve is in flight.
+type snapshot struct {
+	seq  uint64
+	body []byte
+}
+
+// service is the long-running advisor: it owns the statement window,
+// the drift alerter, the retained memo and solve cache, and the
+// last-known-good recommendation snapshot.
+//
+// Concurrency model: ingest handlers run on arbitrary HTTP goroutines
+// and serialize window mutation behind mu (the alerter serializes
+// itself inside alerter.Stream). Solves run on exactly ONE goroutine —
+// the run loop draining the trigger channel — which is what the shared
+// memo and solve cache require; installed and lkg are touched only
+// there. Readers never block on either: they load the atomic snapshot.
+type service struct {
+	adv    *advisor.Advisor
+	stream *alerter.Stream
+	cfg    serviceConfig
+
+	mu  sync.Mutex // guards win
+	win *workload.Window
+
+	memo  *advisor.ExecMemo
+	cache *core.SolveCache
+
+	// Solver-goroutine state: the installed design (C0 of the next
+	// solve) and the last good solution (the resilient ladder's final
+	// rung for the next one).
+	installed core.Config
+	lkg       *core.Solution
+
+	snap    atomic.Pointer[snapshot]
+	trigger chan string // buffered(1): pending re-solves coalesce
+
+	ingested    atomic.Int64
+	batches     atomic.Int64
+	rejected    atomic.Int64
+	driftAlerts atomic.Int64
+	resolves    atomic.Int64
+	solveErrors atomic.Int64
+}
+
+// newService wires the window, drift alerter, and retained caches over
+// an advisor. The advisor's design space must use an explicit Configs
+// list (the alerter watches it).
+func newService(adv *advisor.Advisor, cfg serviceConfig) (*service, error) {
+	if cfg.WindowCap <= 0 {
+		cfg.WindowCap = 500
+	}
+	if cfg.MinSolve <= 0 {
+		cfg.MinSolve = 25
+	}
+	if cfg.MinSolve > cfg.WindowCap {
+		cfg.MinSolve = cfg.WindowCap
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = core.StrategyKAware
+	}
+	configs := adv.Space().Configs
+	if configs == nil {
+		return nil, fmt.Errorf("advisord: design space needs an explicit configuration list")
+	}
+	win, err := workload.NewWindow("live", cfg.WindowCap)
+	if err != nil {
+		return nil, err
+	}
+	s := &service{
+		adv:     adv,
+		cfg:     cfg,
+		win:     win,
+		memo:    advisor.NewMemo(cfg.MemoCap),
+		cache:   core.NewSolveCache(),
+		trigger: make(chan string, 1),
+	}
+	a, err := alerter.New(adv, configs, core.Config(0), cfg.Alerter)
+	if err != nil {
+		return nil, err
+	}
+	// The drift hookup: an alert — not a timer — schedules the re-solve.
+	s.stream = alerter.NewStream(a, func(alerter.Alert) {
+		s.driftAlerts.Add(1)
+		s.requestSolve("drift")
+	})
+	s.helpGauges()
+	return s, nil
+}
+
+// requestSolve schedules a re-solve; a pending request absorbs it (the
+// solve snapshots the window when it starts, so coalescing loses
+// nothing).
+func (s *service) requestSolve(reason string) {
+	select {
+	case s.trigger <- reason:
+	default:
+	}
+}
+
+// run is the solver loop; it exits when ctx is cancelled. Exactly one
+// run loop may be active — it is the single writer of the retained
+// solver state.
+func (s *service) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case reason := <-s.trigger:
+			if _, err := s.solveOnce(ctx, reason); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "advisord: %s re-solve failed: %v\n", reason, err)
+			}
+		}
+	}
+}
+
+// solveOnce snapshots the window, re-solves it warm-started from the
+// retained memo, solve cache, and last-known-good solution, and
+// publishes the new recommendation snapshot. It must only be called
+// from the solver goroutine (or a test standing in for it).
+func (s *service) solveOnce(ctx context.Context, reason string) (*advisor.Recommendation, error) {
+	s.mu.Lock()
+	w := s.win.Snapshot()
+	seq := s.win.Seq()
+	if s.cfg.Tumbling {
+		s.win.Reset()
+	}
+	s.mu.Unlock()
+	if w.Len() == 0 {
+		return nil, nil
+	}
+	opts := advisor.Options{
+		K:           s.cfg.K,
+		Strategy:    s.cfg.Strategy,
+		SegmentSize: s.cfg.SegmentSize,
+		Initial:     s.installed,
+		Timeout:     s.cfg.Timeout,
+		Fallback:    s.cfg.Fallback,
+		Parallelism: s.cfg.Parallelism,
+		Memo:        s.memo,
+		Cache:       s.cache,
+		Tracer:      s.cfg.Tracer,
+	}
+	if s.cfg.Fallback {
+		opts.LastKnownGood = s.lkg
+	}
+	start := time.Now()
+	rec, err := s.adv.RecommendContext(ctx, w, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.solveErrors.Add(1)
+		s.publishGauges(nil, elapsed)
+		return rec, err
+	}
+	var expl *explain.Explanation
+	if s.cfg.Explain {
+		// Attribution only: the sweep and the audit re-solve the
+		// problem many times over — too heavy for every window.
+		expl, err = s.adv.Explain(ctx, rec, advisor.ExplainOptions{KSweepDelta: -1, AuditTrials: -1})
+		if err != nil {
+			expl = nil // the recommendation stands; provenance is best-effort
+		}
+	}
+	body, err := json.Marshal(buildResponse(rec, expl, reason, seq, elapsed))
+	if err != nil {
+		s.solveErrors.Add(1)
+		return rec, err
+	}
+	s.lkg = rec.Solution
+	s.installed = rec.Solution.Designs[len(rec.Solution.Designs)-1]
+	if err := s.stream.SetCurrent(s.installed); err != nil {
+		return rec, err
+	}
+	s.snap.Store(&snapshot{seq: seq, body: body})
+	s.resolves.Add(1)
+	s.publishGauges(rec, elapsed)
+	return rec, nil
+}
+
+// --- HTTP surface ------------------------------------------------------
+
+// ingestRequest is the POST /ingest body: a single statement or a
+// batch. Label optionally names the mix phase (segmentation snaps to
+// label changes).
+type ingestRequest struct {
+	SQL        string            `json:"sql,omitempty"`
+	Label      string            `json:"label,omitempty"`
+	Statements []ingestStatement `json:"statements,omitempty"`
+}
+
+type ingestStatement struct {
+	SQL   string `json:"sql"`
+	Label string `json:"label,omitempty"`
+}
+
+type ingestResponse struct {
+	Ingested int `json:"ingested"`
+	Window   int `json:"window"`
+	// Alerts is how many drift alerts this batch fired.
+	Alerts int `json:"alerts"`
+}
+
+func (s *service) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/recommendation", s.handleRecommendation)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleIngest validates the whole batch first (parse + what-if
+// costability), so a bad statement rejects the batch atomically, then
+// feeds each statement through the window and the drift alerter.
+func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	batch := req.Statements
+	if req.SQL != "" {
+		batch = append([]ingestStatement{{SQL: req.SQL, Label: req.Label}}, batch...)
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "no statements")
+		return
+	}
+	stmts := make([]workload.Statement, len(batch))
+	for i, in := range batch {
+		stmt, err := workload.NewStatement(in.SQL)
+		if err == nil {
+			// Validate against the schema by costing it once under the
+			// empty configuration — the same check the advisor applies
+			// at problem build, surfaced at the ingest boundary instead.
+			_, err = s.adv.StatementCost(stmt, core.Config(0))
+		}
+		if err != nil {
+			s.rejected.Add(int64(len(batch)))
+			writeError(w, http.StatusBadRequest, "statement %d (%q): %v", i, in.SQL, err)
+			return
+		}
+		stmts[i] = stmt
+	}
+	alerts := 0
+	for i, stmt := range stmts {
+		s.mu.Lock()
+		s.win.Append(batch[i].Label, stmt)
+		s.mu.Unlock()
+		alert, err := s.stream.Observe(r.Context(), stmt)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "alerter: %v", err)
+			return
+		}
+		if alert != nil {
+			alerts++
+		}
+	}
+	s.ingested.Add(int64(len(stmts)))
+	s.batches.Add(1)
+	s.mu.Lock()
+	winLen := s.win.Len()
+	s.mu.Unlock()
+	if s.snap.Load() == nil && winLen >= s.cfg.MinSolve {
+		s.requestSolve("initial")
+	}
+	s.publishIngestGauges()
+	writeJSON(w, http.StatusOK, ingestResponse{Ingested: len(stmts), Window: winLen, Alerts: alerts})
+}
+
+// handleRecommendation serves the last published snapshot verbatim. The
+// body was marshaled at publication, so concurrent readers get a
+// consistent recommendation even while a re-solve is swapping it.
+func (s *service) handleRecommendation(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := s.snap.Load()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "no recommendation yet (window below %d statements or first solve pending)", s.cfg.MinSolve)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(snap.body)
+}
+
+// healthzResponse is the GET /healthz body; the smoke test asserts the
+// drift counters off it.
+type healthzResponse struct {
+	Status            string   `json:"status"`
+	Ingested          int64    `json:"ingested"`
+	Batches           int64    `json:"batches"`
+	Rejected          int64    `json:"rejected"`
+	WindowStatements  int      `json:"window_statements"`
+	WindowCapacity    int      `json:"window_capacity"`
+	WindowTotal       int64    `json:"window_total"`
+	DriftAlerts       int64    `json:"drift_alerts"`
+	Resolves          int64    `json:"resolves"`
+	SolveErrors       int64    `json:"solve_errors"`
+	HasRecommendation bool     `json:"has_recommendation"`
+	Memo              memoJSON `json:"memo"`
+}
+
+type memoJSON struct {
+	Entries       int64   `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	HitRate       float64 `json:"hit_rate"`
+	Evictions     int64   `json:"evictions"`
+	Invalidations int64   `json:"invalidations"`
+}
+
+func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	winLen, winCap, winTotal := s.win.Len(), s.win.Cap(), s.win.Total()
+	s.mu.Unlock()
+	ms := s.memo.Stats()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:            "ok",
+		Ingested:          s.ingested.Load(),
+		Batches:           s.batches.Load(),
+		Rejected:          s.rejected.Load(),
+		WindowStatements:  winLen,
+		WindowCapacity:    winCap,
+		WindowTotal:       winTotal,
+		DriftAlerts:       s.driftAlerts.Load(),
+		Resolves:          s.resolves.Load(),
+		SolveErrors:       s.solveErrors.Load(),
+		HasRecommendation: s.snap.Load() != nil,
+		Memo: memoJSON{
+			Entries:       ms.Entries,
+			Capacity:      ms.Capacity,
+			HitRate:       ms.HitRate(),
+			Evictions:     ms.Evictions,
+			Invalidations: ms.Invalidations,
+		},
+	})
+}
+
+// --- Recommendation response -------------------------------------------
+
+// recResponse is the GET /recommendation body: the design sequence in
+// run-length form, the DDL steps to effect it, costing instrumentation,
+// and (when enabled) the per-transition provenance.
+type recResponse struct {
+	Table       string    `json:"table"`
+	Window      string    `json:"window"`
+	WindowSeq   uint64    `json:"window_seq"`
+	Reason      string    `json:"reason"`
+	SolvedAt    time.Time `json:"solved_at"`
+	SolveMillis float64   `json:"solve_millis"`
+	Statements  int       `json:"statements"`
+	Stages      int       `json:"stages"`
+	K           int       `json:"k"`
+	Initial     []string  `json:"initial"`
+	Strategy    string    `json:"strategy"`
+	Rung        string    `json:"rung"`
+	Degraded    bool      `json:"degraded"`
+
+	Cost      float64 `json:"cost"`
+	ExecCost  float64 `json:"exec_cost"`
+	TransCost float64 `json:"trans_cost"`
+	Changes   int     `json:"changes"`
+
+	Designs []designRun `json:"designs"`
+	Steps   []stepJSON  `json:"steps"`
+
+	Stats       solveStatsJSON       `json:"stats"`
+	Explanation *explain.Explanation `json:"explanation,omitempty"`
+}
+
+// designRun is one run of the design sequence: the configuration in
+// effect from FromStatement until the next run starts.
+type designRun struct {
+	FromStatement int      `json:"from_statement"`
+	Label         string   `json:"label,omitempty"`
+	Indexes       []string `json:"indexes"`
+}
+
+type stepJSON struct {
+	Statement int      `json:"statement"`
+	DDL       []string `json:"ddl"`
+}
+
+type solveStatsJSON struct {
+	WhatIfCalls  int64   `json:"whatif_calls"`
+	MemoHitRate  float64 `json:"memo_hit_rate"`
+	MatrixBuilds int64   `json:"matrix_builds"`
+	MatrixReuses int64   `json:"matrix_reuses"`
+}
+
+// configNames renders a configuration as its structure names.
+func configNames(c core.Config, names []string) []string {
+	out := []string{}
+	for _, s := range c.Structures() {
+		if s < len(names) {
+			out = append(out, names[s])
+		} else {
+			out = append(out, fmt.Sprintf("bit%d", s))
+		}
+	}
+	return out
+}
+
+func buildResponse(rec *advisor.Recommendation, expl *explain.Explanation, reason string, seq uint64, elapsed time.Duration) recResponse {
+	resp := recResponse{
+		Table:       rec.Table,
+		Window:      rec.Workload.Name,
+		WindowSeq:   seq,
+		Reason:      reason,
+		SolvedAt:    time.Now().UTC(),
+		SolveMillis: float64(elapsed.Microseconds()) / 1000,
+		Statements:  rec.Workload.Len(),
+		Stages:      rec.Problem.Stages,
+		K:           rec.Problem.K,
+		Initial:     configNames(rec.Problem.Initial, rec.StructureNames),
+		Strategy:    string(rec.Strategy),
+		Rung:        string(rec.Rung),
+		Degraded:    rec.Degraded,
+		Cost:        rec.Solution.Cost,
+		ExecCost:    rec.Solution.ExecCost,
+		TransCost:   rec.Solution.TransCost,
+		Changes:     rec.Solution.Changes,
+		Stats: solveStatsJSON{
+			WhatIfCalls:  rec.Stats.WhatIfCalls,
+			MemoHitRate:  rec.Stats.HitRate(),
+			MatrixBuilds: rec.MatrixBuilds,
+			MatrixReuses: rec.MatrixReuses,
+		},
+		Explanation: expl,
+	}
+	// Run-length compress the per-stage designs: one entry per region
+	// of constant configuration.
+	prev := rec.Problem.Initial
+	for i, cfg := range rec.Solution.Designs {
+		if i == 0 || cfg != prev {
+			resp.Designs = append(resp.Designs, designRun{
+				FromStatement: rec.Segments[i].Start,
+				Label:         rec.Segments[i].Label,
+				Indexes:       configNames(cfg, rec.StructureNames),
+			})
+			prev = cfg
+		}
+	}
+	for _, st := range rec.Steps() {
+		resp.Steps = append(resp.Steps, stepJSON{Statement: st.StatementIndex, DDL: st.DDL})
+	}
+	return resp
+}
+
+// --- Gauges ------------------------------------------------------------
+
+func (s *service) helpGauges() {
+	g := s.cfg.Gauges
+	if g == nil {
+		return
+	}
+	g.Help("advisord_ingested_total", "Statements accepted by /ingest over the service lifetime.")
+	g.Help("advisord_window_statements", "Statements currently in the sliding window.")
+	g.Help("advisord_drift_alerts_total", "Drift alerts raised by the workload alerter.")
+	g.Help("advisord_resolves_total", "Window re-solves that published a recommendation.")
+	g.Help("advisord_solve_errors_total", "Window re-solves that failed.")
+	g.Help("advisord_solve_seconds", "Wall-clock duration of the last re-solve.")
+	g.Help("advisord_solve_cost", "Objective cost of the last published recommendation.")
+	g.Help("advisord_memo_entries", "Current occupancy of the retained what-if memo.")
+	g.Help("advisord_memo_hit_rate", "Lifetime hit rate of the retained what-if memo.")
+	g.Help("advisord_memo_evictions_total", "Entries evicted from the capped what-if memo.")
+	g.Help("advisord_memo_invalidations_total", "Whole-memo purges caused by cost-world changes.")
+}
+
+func (s *service) publishIngestGauges() {
+	g := s.cfg.Gauges
+	if g == nil {
+		return
+	}
+	s.mu.Lock()
+	winLen := s.win.Len()
+	s.mu.Unlock()
+	g.Set("advisord_ingested_total", float64(s.ingested.Load()))
+	g.Set("advisord_window_statements", float64(winLen))
+	g.Set("advisord_drift_alerts_total", float64(s.driftAlerts.Load()))
+}
+
+func (s *service) publishGauges(rec *advisor.Recommendation, elapsed time.Duration) {
+	g := s.cfg.Gauges
+	if g == nil {
+		return
+	}
+	g.Set("advisord_resolves_total", float64(s.resolves.Load()))
+	g.Set("advisord_solve_errors_total", float64(s.solveErrors.Load()))
+	g.Set("advisord_solve_seconds", elapsed.Seconds())
+	if rec != nil && rec.Solution != nil {
+		g.Set("advisord_solve_cost", rec.Solution.Cost)
+	}
+	ms := s.memo.Stats()
+	g.Set("advisord_memo_entries", float64(ms.Entries))
+	g.Set("advisord_memo_hit_rate", ms.HitRate())
+	g.Set("advisord_memo_evictions_total", float64(ms.Evictions))
+	g.Set("advisord_memo_invalidations_total", float64(ms.Invalidations))
+}

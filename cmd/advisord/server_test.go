@@ -1,0 +1,350 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/alerter"
+	"dyndesign/internal/candidates"
+	"dyndesign/internal/core"
+	"dyndesign/internal/experiments"
+	"dyndesign/internal/workload"
+)
+
+const testRows = 20000
+
+var (
+	advOnce sync.Once
+	advErr  error
+	testAdv *advisor.Advisor
+)
+
+// testAdvisor builds the paper table once per test binary — the
+// expensive fixture every service test shares. The advisor itself is
+// stateless across recommendations, so sharing is safe.
+func testAdvisor(t *testing.T) *advisor.Advisor {
+	t.Helper()
+	advOnce.Do(func() {
+		db, err := experiments.SetupPaperDatabase(experiments.Scale{Rows: testRows, BlockSize: 1, Seed: 1})
+		if err != nil {
+			advErr = err
+			return
+		}
+		structures := candidates.PaperStructures("t")
+		testAdv, advErr = advisor.New(db, advisor.DesignSpace{
+			Table:      "t",
+			Structures: structures,
+			Configs:    advisor.SingleIndexConfigs(len(structures)),
+		})
+	})
+	if advErr != nil {
+		t.Fatal(advErr)
+	}
+	return testAdv
+}
+
+// phasedTrace builds a drifting statement stream: phase A (selects
+// mostly on column a) followed by phase C (mostly on column c), the
+// shape that forces the installed design out from under the window.
+func phasedTrace(t *testing.T, perPhase int) *workload.Workload {
+	t.Helper()
+	w, err := workload.GeneratePhased("drift", workload.PaperMixes(testRows), []workload.PhaseSpec{
+		{Mix: "A", Count: perPhase},
+		{Mix: "C", Count: perPhase},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func postIngest(t *testing.T, client *http.Client, url string, batch []ingestStatement) ingestResponse {
+	t.Helper()
+	body, err := json.Marshal(ingestRequest{Statements: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /ingest status %d", resp.StatusCode)
+	}
+	return out
+}
+
+func getHealthz(t *testing.T, client *http.Client, url string) healthzResponse {
+	t.Helper()
+	resp, err := client.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestAdvisordSmoke is the end-to-end service exercise `make
+// advisord-smoke` runs: start the server, stream a phase-shifting trace
+// through POST /ingest, and assert that the drift alerter (not a timer)
+// forced at least one re-solve and that GET /recommendation parses.
+func TestAdvisordSmoke(t *testing.T) {
+	adv := testAdvisor(t)
+	svc, err := newService(adv, serviceConfig{
+		WindowCap:   100,
+		MinSolve:    40,
+		K:           2,
+		SegmentSize: 5,
+		Timeout:     30 * time.Second,
+		Fallback:    true,
+		Explain:     true,
+		Alerter:     alerter.Options{WindowSize: 60, CheckEvery: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	solverDone := make(chan struct{})
+	go func() { defer close(solverDone); svc.run(ctx) }()
+
+	ts := httptest.NewServer(svc.mux())
+	defer ts.Close()
+	client := ts.Client()
+
+	// No recommendation before the window warms up.
+	resp, err := client.Get(ts.URL + "/recommendation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty-service /recommendation status %d, want 503", resp.StatusCode)
+	}
+
+	// Stream the drifting trace in batches, like a workload collector
+	// would.
+	trace := phasedTrace(t, 120)
+	for i := 0; i < trace.Len(); i += 20 {
+		end := i + 20
+		if end > trace.Len() {
+			end = trace.Len()
+		}
+		batch := make([]ingestStatement, 0, end-i)
+		for j := i; j < end; j++ {
+			batch = append(batch, ingestStatement{SQL: trace.Statements[j].SQL, Label: trace.Labels[j]})
+		}
+		out := postIngest(t, client, ts.URL, batch)
+		if out.Ingested != len(batch) {
+			t.Fatalf("batch at %d: ingested %d of %d", i, out.Ingested, len(batch))
+		}
+	}
+
+	// The solver runs asynchronously; wait for the drift-triggered
+	// re-solve to land.
+	deadline := time.Now().Add(60 * time.Second)
+	var h healthzResponse
+	for {
+		h = getHealthz(t, client, ts.URL)
+		if h.DriftAlerts >= 1 && h.Resolves >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no drift re-solve: %+v", h)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if h.SolveErrors != 0 {
+		t.Fatalf("solve errors: %+v", h)
+	}
+	if h.Ingested != int64(trace.Len()) {
+		t.Fatalf("ingested %d, want %d", h.Ingested, trace.Len())
+	}
+	if h.WindowStatements != 100 {
+		t.Fatalf("window fill %d, want capacity 100", h.WindowStatements)
+	}
+
+	// The published recommendation must parse and describe the window.
+	resp, err = client.Get(ts.URL + "/recommendation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/recommendation status %d", resp.StatusCode)
+	}
+	var rec recResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatalf("decoding /recommendation: %v", err)
+	}
+	if rec.Table != "t" || rec.Statements == 0 || len(rec.Designs) == 0 {
+		t.Fatalf("implausible recommendation: %+v", rec)
+	}
+	if rec.Cost <= 0 {
+		t.Fatalf("recommendation cost %v", rec.Cost)
+	}
+	if rec.Explanation == nil || len(rec.Explanation.Transitions) == 0 {
+		t.Fatal("recommendation carries no provenance")
+	}
+
+	// Bad statements are rejected atomically with a 400.
+	body, _ := json.Marshal(ingestRequest{SQL: "SELECT nonsense FROM nowhere"})
+	resp, err = client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-statement ingest status %d, want 400", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case <-solverDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("solver goroutine did not exit on cancel")
+	}
+}
+
+// solutionBytes canonicalizes the part of a recommendation the
+// equivalence contract covers: the solved design sequence and the DDL
+// steps derived from it.
+func solutionBytes(t *testing.T, rec *advisor.Recommendation) []byte {
+	t.Helper()
+	buf, err := json.Marshal(struct {
+		Solution *core.Solution
+		Steps    []advisor.Step
+	}{rec.Solution, rec.Steps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestAdvisordIncrementalMatchesOneShot is the incremental ≡ one-shot
+// equivalence gate: a windowed re-solve that warm-starts from the
+// retained memo, solve cache, and chained initial configuration must be
+// byte-identical to a cold advisor.RecommendContext over the same
+// window — on the serial path and with Parallelism = 4.
+func TestAdvisordIncrementalMatchesOneShot(t *testing.T) {
+	adv := testAdvisor(t)
+	trace := phasedTrace(t, 80)
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			svc, err := newService(adv, serviceConfig{
+				WindowCap:   120,
+				MinSolve:    1,
+				K:           2,
+				SegmentSize: 5,
+				Parallelism: par,
+				Alerter:     alerter.Options{},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Drive the stream synchronously: append and re-solve every
+			// 40 statements, so the final solve warm-starts from four
+			// earlier windows' worth of retained state.
+			var warm *advisor.Recommendation
+			for i, stmt := range trace.Statements {
+				svc.mu.Lock()
+				svc.win.Append(trace.Labels[i], stmt)
+				svc.mu.Unlock()
+				if (i+1)%40 == 0 || i == trace.Len()-1 {
+					warm, err = svc.solveOnce(context.Background(), "test")
+					if err != nil {
+						t.Fatalf("warm solve at %d: %v", i, err)
+					}
+				}
+			}
+			if warm == nil || warm.Solution == nil {
+				t.Fatal("no warm recommendation")
+			}
+			if st := svc.memo.Stats(); st.Hits == 0 {
+				t.Fatalf("retained memo never hit across windows: %+v", st)
+			}
+
+			// Cold one-shot over the same window: fresh memo, fresh
+			// cache, same options (the warm solve's Initial is the
+			// design chained from the previous window's adoption).
+			svc.mu.Lock()
+			w := svc.win.Snapshot()
+			svc.mu.Unlock()
+			for _, coldPar := range []int{1, 4} {
+				cold, err := adv.RecommendContext(context.Background(), w, advisor.Options{
+					K:           2,
+					SegmentSize: 5,
+					Initial:     warm.Problem.Initial,
+					Parallelism: coldPar,
+				})
+				if err != nil {
+					t.Fatalf("cold solve (par %d): %v", coldPar, err)
+				}
+				if got, want := solutionBytes(t, cold), solutionBytes(t, warm); !bytes.Equal(got, want) {
+					t.Fatalf("incremental (par %d) and one-shot (par %d) recommendations differ:\nwarm: %s\ncold: %s",
+						par, coldPar, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAdvisordIngestValidation pins the HTTP error contract: wrong
+// methods, empty batches, and unparsable bodies are rejected without
+// touching the window.
+func TestAdvisordIngestValidation(t *testing.T) {
+	adv := testAdvisor(t)
+	svc, err := newService(adv, serviceConfig{WindowCap: 10, MinSolve: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.mux())
+	defer ts.Close()
+	client := ts.Client()
+
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodGet, "/ingest", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/ingest", "{}", http.StatusBadRequest},
+		{http.MethodPost, "/ingest", "not json", http.StatusBadRequest},
+		{http.MethodPost, "/ingest", `{"sql": "DROP TABLE t"}`, http.StatusBadRequest},
+		{http.MethodPost, "/recommendation", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s (%q): status %d, want %d", tc.method, tc.path, tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	if h := getHealthz(t, client, ts.URL); h.WindowStatements != 0 || h.Ingested != 0 {
+		t.Fatalf("rejected requests touched the window: %+v", h)
+	}
+}

@@ -100,6 +100,11 @@ func run(ctx context.Context) error {
 		RuntimeTracePath: *runtimeTrace,
 		SummaryW:         os.Stderr,
 		Gauges:           gauges,
+		// The signal context routes the JSONL tail flush through the
+		// teardown path: a SIGTERM-cancelled run persists every span
+		// emitted before the signal even if the process dies before
+		// the deferred teardown.
+		FlushCtx: ctx,
 	})
 	if err != nil {
 		return err

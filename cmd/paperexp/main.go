@@ -64,6 +64,14 @@ func main() {
 	auditSeed := flag.Int64("audit-seed", 0, "seed deriving the audit's resampling trials (0 = default 1)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the context; every experiment checks it at
+	// cell boundaries and inside the solvers, so an interrupt exits
+	// cleanly with partial diagnostics instead of killing the process.
+	// The context is created before the obs sinks so the JSONL writer's
+	// tail flush can be routed through the signal teardown path.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	gauges := obs.NewGaugeSet()
 	tracer, obsTeardown, err := obs.Setup(obs.CLIConfig{
 		TracePath:        *traceOut,
@@ -72,6 +80,7 @@ func main() {
 		RuntimeTracePath: *runtimeTrace,
 		SummaryW:         os.Stderr,
 		Gauges:           gauges,
+		FlushCtx:         ctx,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
@@ -84,12 +93,6 @@ func main() {
 		Fallback:       *fallback,
 		Tracer:         tracer,
 	})
-
-	// SIGINT/SIGTERM cancel the context; every experiment checks it at
-	// cell boundaries and inside the solvers, so an interrupt exits
-	// cleanly with partial diagnostics instead of killing the process.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
 		obsTeardown() // os.Exit skips defers; flush traces explicitly
@@ -105,6 +108,7 @@ func main() {
 	asJSON := *format == "json"
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "paperexp: unknown -format %q\n", *format)
+		obsTeardown() // os.Exit skips defers; flush traces explicitly
 		os.Exit(2)
 	}
 	var report experiments.JSONReport
@@ -124,6 +128,7 @@ func main() {
 	if !run("table2") && !run("fig3") && !run("fig4") && !run("ablations") {
 		if *exp != "table1" {
 			fmt.Fprintf(os.Stderr, "paperexp: unknown experiment %q\n", *exp)
+			obsTeardown() // os.Exit skips defers; flush traces explicitly
 			os.Exit(2)
 		}
 		if asJSON {

@@ -103,6 +103,28 @@ type Options struct {
 	// fails. Only consulted when Fallback is on.
 	LastKnownGood *core.Solution
 
+	// Parallelism bounds the worker count of the cost-table build and
+	// the data-parallel solver phases (core.Problem.Parallelism): 0
+	// means one worker per CPU, 1 forces the serial path. Parallel and
+	// serial solves produce bit-identical results.
+	Parallelism int
+
+	// Memo, when non-nil, supplies a retained what-if EXEC memo instead
+	// of the fresh per-problem default. Memo entries are keyed by
+	// segment content, so a long-running service that re-solves
+	// overlapping windows re-costs only statements it has not seen;
+	// stale entries are purged automatically when the cost world
+	// (statistics, physical descriptions) changes. Callers sharing one
+	// memo must serialize their solves. See NewMemo.
+	Memo *ExecMemo
+
+	// Cache, when non-nil, supplies a retained solve cache
+	// (core.SolveCache) instead of the fresh per-problem default, so a
+	// re-solve of an unchanged window warm-starts from the previous
+	// solve's cost tables. The cache invalidates itself when the model
+	// version changes (see core.VersionedModel).
+	Cache *core.SolveCache
+
 	// Tracer, when non-nil, receives spans from the whole advisor
 	// pipeline: statement validation and problem assembly
 	// ("advisor.problem"), the end-to-end recommendation
@@ -179,12 +201,6 @@ func (a *Advisor) StatementCost(s workload.Statement, c core.Config) (float64, e
 	return cost.StatementCost(s.Stmt, a.table, idxs)
 }
 
-// execKey memoizes EXEC per (stage, configuration).
-type execKey struct {
-	stage int
-	cfg   core.Config
-}
-
 // whatIfModel implements core.FallibleModel over the engine's what-if
 // cost functions. It is safe for concurrent use: the EXEC memo is a
 // sharded, mutex-guarded cache, TRANS and SIZE are pure functions of
@@ -195,7 +211,15 @@ type whatIfModel struct {
 	table cost.TablePhys
 	phys  []cost.IndexPhys
 	segs  []workload.Segment
-	memo  *execCache
+	// segHash fingerprints each segment's statement content; it keys
+	// the EXEC memo so entries survive the stage renumbering a sliding
+	// window causes between solves.
+	segHash []uint64
+	// version memoizes ModelVersion: the world and the segments are
+	// immutable once the problem is assembled, and the solve cache
+	// consults the version on every table fetch and replay peek.
+	version uint64
+	memo    *ExecMemo
 	// whatIfCalls counts individual statement costings (not memo
 	// lookups); see CostStats.
 	whatIfCalls atomic.Int64
@@ -203,6 +227,80 @@ type whatIfModel struct {
 	// TakeErr drain (the core.FallibleModel contract).
 	errMu   sync.Mutex
 	execErr error
+}
+
+// fnv64 is FNV-1a over a byte sequence fed piecewise.
+type fnv64 uint64
+
+func newFnv() fnv64 { return 14695981039346656037 }
+
+func (h *fnv64) byte(b byte) { *h = (*h ^ fnv64(b)) * 1099511628211 }
+
+func (h *fnv64) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnv64) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// segmentHash fingerprints a segment's statement content — the part of
+// EXEC(stage, ·) that depends on the workload.
+func segmentHash(seg workload.Segment) uint64 {
+	h := newFnv()
+	h.u64(uint64(len(seg.Statements)))
+	for _, s := range seg.Statements {
+		h.str(s.SQL)
+	}
+	return uint64(h)
+}
+
+// worldVersion fingerprints the cost world the model evaluates in: the
+// statistics epoch plus every physical description. It deliberately
+// excludes the workload segments — the EXEC memo keys those per entry,
+// so an unchanged world keeps memo entries valid across windows.
+func (m *whatIfModel) worldVersion() uint64 {
+	h := newFnv()
+	h.str(m.table.Name)
+	h.u64(math.Float64bits(m.table.Rows))
+	h.u64(math.Float64bits(m.table.HeapPages))
+	h.u64(m.table.Stats.Fingerprint())
+	h.u64(uint64(len(m.phys)))
+	for _, ip := range m.phys {
+		h.str(ip.Def.Name())
+		h.u64(math.Float64bits(ip.Height))
+		h.u64(math.Float64bits(ip.LeafPages))
+		h.u64(math.Float64bits(ip.TotalPages))
+		h.u64(uint64(ip.KeyBytes))
+	}
+	return uint64(h)
+}
+
+// ModelVersion implements core.VersionedModel: a fingerprint of
+// everything EXEC, TRANS, and SIZE depend on — the cost world plus the
+// workload segments behind each stage. Equal versions mean two models
+// compute identical cost tables, which is what lets a retained
+// core.SolveCache warm-start the re-solve of an unchanged window and
+// forces a rebuild the moment statistics are refreshed under a
+// long-lived model. The value is memoized at problem assembly — the
+// model is immutable afterwards.
+func (m *whatIfModel) ModelVersion() uint64 { return m.version }
+
+// computeVersion derives the ModelVersion fingerprint; called once
+// after segHash is populated.
+func (m *whatIfModel) computeVersion() uint64 {
+	h := newFnv()
+	h.u64(m.worldVersion())
+	h.u64(uint64(len(m.segHash)))
+	for _, sh := range m.segHash {
+		h.u64(sh)
+	}
+	return uint64(h)
 }
 
 func (m *whatIfModel) physFor(c core.Config) []cost.IndexPhys {
@@ -220,7 +318,7 @@ func (m *whatIfModel) physFor(c core.Config) []cost.IndexPhys {
 // evaluation returns +Inf, and nothing is memoized so a healthy retry
 // can recompute the cell.
 func (m *whatIfModel) Exec(stage int, c core.Config) float64 {
-	key := execKey{stage: stage, cfg: c}
+	key := execKey{seg: m.segHash[stage], cfg: c}
 	if v, ok := m.memo.get(key); ok {
 		return v
 	}
@@ -328,12 +426,25 @@ func (a *Advisor) Problem(w *workload.Workload, opts Options) (_ *core.Problem, 
 		segSize = 1
 	}
 	segs := w.Segments(segSize)
+	memo := opts.Memo
+	if memo == nil {
+		memo = newExecCache()
+	}
 	model := &whatIfModel{
 		table: a.table,
 		phys:  a.phys,
 		segs:  segs,
-		memo:  newExecCache(),
+		memo:  memo,
 	}
+	model.segHash = make([]uint64, len(segs))
+	for i, seg := range segs {
+		model.segHash[i] = segmentHash(seg)
+	}
+	model.version = model.computeVersion()
+	// Pin the memo to this model's cost world: entries computed under
+	// refreshed statistics or different physical descriptions are
+	// purged instead of replayed.
+	memo.validate(model.worldVersion())
 	configs := a.space.Configs
 	if configs == nil {
 		var err error
@@ -342,18 +453,23 @@ func (a *Advisor) Problem(w *workload.Workload, opts Options) (_ *core.Problem, 
 			return nil, nil, err
 		}
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = core.NewSolveCache()
+	}
 	p := &core.Problem{
-		Stages:     len(segs),
-		Configs:    configs,
-		Initial:    opts.Initial,
-		Final:      opts.Final,
-		SpaceBound: opts.SpaceBound,
-		K:          opts.K,
-		Policy:     opts.Policy,
-		Model:      model,
-		Cache:      core.NewSolveCache(),
-		Metrics:    &core.Metrics{},
-		Tracer:     opts.Tracer,
+		Stages:      len(segs),
+		Configs:     configs,
+		Initial:     opts.Initial,
+		Final:       opts.Final,
+		SpaceBound:  opts.SpaceBound,
+		K:           opts.K,
+		Policy:      opts.Policy,
+		Model:       model,
+		Parallelism: opts.Parallelism,
+		Cache:       cache,
+		Metrics:     &core.Metrics{},
+		Tracer:      opts.Tracer,
 	}
 	if err := p.Validate(); err != nil {
 		return nil, nil, err

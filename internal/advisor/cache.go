@@ -3,54 +3,145 @@ package advisor
 import (
 	"sync"
 	"sync/atomic"
+
+	"dyndesign/internal/core"
 )
 
 // execCacheShards is the shard count of the what-if EXEC memo. 64
 // shards keep lock contention negligible even when every core of a
 // large machine fills the cost matrix at once, at a fixed cost of a few
-// kilobytes per model.
+// kilobytes per memo.
 const execCacheShards = 64
+
+// execKey identifies one EXEC memo cell: the content fingerprint of a
+// workload segment plus the configuration it was costed under. Keying
+// by segment content instead of stage index is what lets one memo
+// outlive a single problem — a sliding window shifts every stage index
+// between solves, but an unchanged segment keeps its key, so the
+// advisor service re-costs only the statements that actually entered
+// the window.
+type execKey struct {
+	seg uint64
+	cfg core.Config
+}
 
 type execShard struct {
 	mu sync.RWMutex
-	m  map[execKey]float64
+	m  map[execKey]int // key -> slot index
+	// Slot storage: parallel slices so the clock hand can walk
+	// insertion order. ref bits are set atomically under RLock by
+	// readers and inspected by the evicting writer.
+	keys []execKey
+	vals []float64
+	ref  []uint32
+	hand int
 }
 
-// execCache is a sharded, mutex-guarded memo for EXEC(stage, config)
+// ExecMemo is the sharded, mutex-guarded memo for EXEC(segment, config)
 // what-if results. It is safe for concurrent use, so one advisor
 // Problem can be solved by several strategies (or a parallel matrix
-// build) at the same time. Lookup and hit counters feed the
-// recommendation's instrumentation.
+// build) at the same time, and — because keys are segment content
+// hashes — it may be retained across recommendations: pass one via
+// Options.Memo and a re-solve warm-starts from every segment it has
+// seen before.
+//
+// A capacity caps the number of retained entries; beyond it each shard
+// evicts with a clock (second-chance) sweep, so a statement stream of
+// unbounded length runs in bounded memory while looping workloads keep
+// their working set. Capacity 0 means unbounded — the right choice for
+// one-shot runs.
 //
 // On a miss the value is computed outside any lock and stored after;
 // two goroutines racing on the same cold key both compute it, but the
 // model is deterministic so they store the same value — wasted work,
 // never wrong answers.
-type execCache struct {
-	shards  [execCacheShards]execShard
-	lookups atomic.Int64
-	hits    atomic.Int64
+type ExecMemo struct {
+	shards   [execCacheShards]execShard
+	capShard int // max slots per shard; 0 = unbounded
+
+	lookups       atomic.Int64
+	hits          atomic.Int64
+	entries       atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+
+	// genMu guards the world generation: the fingerprint of the cost
+	// world (statistics epoch + physical descriptions) the entries were
+	// computed under. A solve against a different world purges the memo
+	// instead of replaying costs from dead statistics.
+	genMu sync.Mutex
+	gen   uint64
+	genOK bool
 }
 
-func newExecCache() *execCache {
-	c := &execCache{}
+// NewMemo builds an EXEC memo bounded to about capacity entries
+// (rounded up to a per-shard cap); capacity <= 0 means unbounded. Pass
+// the memo via Options.Memo to share it across recommendations.
+func NewMemo(capacity int) *ExecMemo {
+	c := &ExecMemo{}
+	if capacity > 0 {
+		c.capShard = (capacity + execCacheShards - 1) / execCacheShards
+		if c.capShard < 1 {
+			c.capShard = 1
+		}
+	}
 	for i := range c.shards {
-		c.shards[i].m = make(map[execKey]float64)
+		c.shards[i].m = make(map[execKey]int)
 	}
 	return c
 }
 
+// newExecCache is the fresh unbounded memo a one-shot problem gets when
+// the caller does not retain one.
+func newExecCache() *ExecMemo { return NewMemo(0) }
+
+// validate pins the memo to the model's world fingerprint; entries
+// computed under a different world (refreshed statistics, changed
+// physical descriptions) are purged first. Callers that share a memo
+// serialize their solves (the advisor service does), so a purge never
+// races a solve in flight.
+func (c *ExecMemo) validate(world uint64) {
+	c.genMu.Lock()
+	defer c.genMu.Unlock()
+	if c.genOK && c.gen == world {
+		return
+	}
+	if c.genOK {
+		c.purge()
+		c.invalidations.Add(1)
+	}
+	c.gen, c.genOK = world, true
+}
+
+// purge empties every shard. Called with genMu held.
+func (c *ExecMemo) purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		c.entries.Add(-int64(len(s.keys)))
+		s.m = make(map[execKey]int)
+		s.keys, s.vals, s.ref = nil, nil, nil
+		s.hand = 0
+		s.mu.Unlock()
+	}
+}
+
 // shard maps a key to its shard with a Fibonacci mix so consecutive
-// stages spread instead of clustering.
-func (c *execCache) shard(k execKey) *execShard {
-	h := (uint64(k.stage) ^ uint64(k.cfg)<<32 ^ uint64(k.cfg)>>32) * 0x9E3779B97F4A7C15
+// segment hashes spread instead of clustering.
+func (c *ExecMemo) shard(k execKey) *execShard {
+	h := (k.seg ^ uint64(k.cfg)<<32 ^ uint64(k.cfg)>>32) * 0x9E3779B97F4A7C15
 	return &c.shards[h>>(64-6)] // top 6 bits: [0, 64)
 }
 
-func (c *execCache) get(k execKey) (float64, bool) {
+func (c *ExecMemo) get(k execKey) (float64, bool) {
 	s := c.shard(k)
 	s.mu.RLock()
-	v, ok := s.m[k]
+	i, ok := s.m[k]
+	var v float64
+	if ok {
+		v = s.vals[i]
+		atomic.StoreUint32(&s.ref[i], 1)
+	}
 	s.mu.RUnlock()
 	c.lookups.Add(1)
 	if ok {
@@ -59,11 +150,88 @@ func (c *execCache) get(k execKey) (float64, bool) {
 	return v, ok
 }
 
-func (c *execCache) put(k execKey, v float64) {
+func (c *ExecMemo) put(k execKey, v float64) {
 	s := c.shard(k)
 	s.mu.Lock()
-	s.m[k] = v
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	if i, ok := s.m[k]; ok {
+		s.vals[i] = v
+		return
+	}
+	if c.capShard > 0 && len(s.keys) >= c.capShard {
+		// Clock sweep: give referenced slots a second chance, evict the
+		// first unreferenced one. Terminates within two laps — the
+		// first lap clears every ref bit it passes.
+		for {
+			if s.hand >= len(s.keys) {
+				s.hand = 0
+			}
+			if atomic.LoadUint32(&s.ref[s.hand]) != 0 {
+				atomic.StoreUint32(&s.ref[s.hand], 0)
+				s.hand++
+				continue
+			}
+			break
+		}
+		i := s.hand
+		s.hand++
+		delete(s.m, s.keys[i])
+		s.keys[i] = k
+		s.vals[i] = v
+		atomic.StoreUint32(&s.ref[i], 1)
+		s.m[k] = i
+		c.evictions.Add(1)
+		return
+	}
+	s.m[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+	s.vals = append(s.vals, v)
+	s.ref = append(s.ref, 1)
+	c.entries.Add(1)
+}
+
+// MemoStats describes an EXEC memo's occupancy and lifetime counters —
+// the observability surface a capped, long-lived memo needs so growth
+// and eviction pressure are measurable instead of invisible.
+type MemoStats struct {
+	// Entries is the current occupancy; Capacity the configured bound
+	// (0 = unbounded).
+	Entries  int64
+	Capacity int
+	// Lookups and Hits count EXEC memo probes over the memo's lifetime.
+	Lookups int64
+	Hits    int64
+	// Evictions counts entries displaced by the clock sweep once a
+	// shard reached its cap.
+	Evictions int64
+	// Invalidations counts whole-memo purges forced by a cost-world
+	// change (refreshed statistics).
+	Invalidations int64
+}
+
+// HitRate returns the fraction of lookups served from the memo, 0 when
+// nothing was looked up.
+func (s MemoStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Stats returns a snapshot of the memo's counters.
+func (c *ExecMemo) Stats() MemoStats {
+	capacity := 0
+	if c.capShard > 0 {
+		capacity = c.capShard * execCacheShards
+	}
+	return MemoStats{
+		Entries:       c.entries.Load(),
+		Capacity:      capacity,
+		Lookups:       c.lookups.Load(),
+		Hits:          c.hits.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
 }
 
 // CostStats is the lightweight instrumentation of one advisor run's
@@ -76,7 +244,7 @@ type CostStats struct {
 	WhatIfCalls int64
 	// CacheLookups and CacheHits describe the EXEC memo: every
 	// CostModel.Exec call is one lookup, served from the cache when the
-	// (stage, configuration) pair was costed before.
+	// (segment, configuration) pair was costed before.
 	CacheLookups int64
 	CacheHits    int64
 }

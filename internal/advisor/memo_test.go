@@ -1,0 +1,213 @@
+package advisor
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyndesign/internal/core"
+)
+
+// memoTraceKeys builds the key population for the looping replay: a hot
+// working set touched constantly (a periodic workload sliding through a
+// window) plus a long cold tail of once-in-a-while segments.
+func memoTraceKeys(n int) []execKey {
+	keys := make([]execKey, n)
+	for i := range keys {
+		h := newFnv()
+		h.u64(uint64(i) * 0x9E3779B97F4A7C15)
+		keys[i] = execKey{seg: uint64(h), cfg: core.Config(uint64(i % 7))}
+	}
+	return keys
+}
+
+// replayMemo drives a memo with the looping trace: each step probes one
+// key and fills it on a miss, exactly the Exec fast path.
+func replayMemo(m *ExecMemo, hot, cold []execKey, steps int, seed int64) MemoStats {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		var k execKey
+		if rng.Intn(10) < 9 {
+			k = hot[rng.Intn(len(hot))]
+		} else {
+			k = cold[rng.Intn(len(cold))]
+		}
+		if _, ok := m.get(k); !ok {
+			m.put(k, float64(i))
+		}
+	}
+	return m.Stats()
+}
+
+// TestExecMemoCapBoundedUnder100kReplay is the regression for unbounded
+// what-if memo growth: under a 100k-statement looping replay whose key
+// population far exceeds the cap, the capped memo must stay within its
+// bound, record its evictions, and — because the clock sweep gives the
+// hot working set second chances — keep a hit rate close to the
+// uncapped memo's.
+func TestExecMemoCapBoundedUnder100kReplay(t *testing.T) {
+	const (
+		steps    = 100_000
+		hotKeys  = 512
+		coldKeys = 50_000
+		capacity = 2048
+	)
+	hot := memoTraceKeys(hotKeys)
+	cold := memoTraceKeys(hotKeys + coldKeys)[hotKeys:]
+
+	uncapped := replayMemo(NewMemo(0), hot, cold, steps, 11)
+	capped := replayMemo(NewMemo(capacity), hot, cold, steps, 11)
+
+	if uncapped.Entries <= int64(capped.Capacity) {
+		t.Fatalf("fixture too weak: uncapped memo holds %d entries, cap is %d — the cap never bites",
+			uncapped.Entries, capped.Capacity)
+	}
+	if capped.Capacity < capacity {
+		t.Fatalf("Capacity = %d, want >= requested %d", capped.Capacity, capacity)
+	}
+	if capped.Entries > int64(capped.Capacity) {
+		t.Fatalf("capped memo occupancy %d exceeds bound %d", capped.Entries, capped.Capacity)
+	}
+	if capped.Evictions == 0 {
+		t.Fatal("capped memo recorded no evictions under a trace exceeding its capacity")
+	}
+	if uncapped.Evictions != 0 {
+		t.Fatalf("uncapped memo evicted %d entries", uncapped.Evictions)
+	}
+	// The floor is derived from the uncapped run: losing the cold tail
+	// may cost hits, but the clock must preserve the hot set, which
+	// carries ~90% of the probes.
+	floor := 0.8 * uncapped.HitRate()
+	if got := capped.HitRate(); got < floor {
+		t.Fatalf("capped hit rate %.3f below floor %.3f (uncapped %.3f): eviction is destroying the working set",
+			got, floor, uncapped.HitRate())
+	}
+	if capped.Lookups != steps || uncapped.Lookups != steps {
+		t.Fatalf("lookup counters %d/%d, want %d", capped.Lookups, uncapped.Lookups, steps)
+	}
+}
+
+// TestExecMemoClockPrefersHotEntries pins the second-chance property
+// directly: with a shard full of referenced entries, the sweep clears
+// ref bits on its first lap and evicts an unreferenced slot, never an
+// entry probed since the last sweep.
+func TestExecMemoClockPrefersHotEntries(t *testing.T) {
+	// Capacity 64 gives exactly one slot per shard, so every insertion
+	// beyond the first per shard must evict and the clock logic is
+	// exercised on each one.
+	m := NewMemo(64)
+	keys := memoTraceKeys(512)
+	for i, k := range keys {
+		m.put(k, float64(i))
+	}
+	st := m.Stats()
+	if st.Entries > int64(st.Capacity) {
+		t.Fatalf("occupancy %d exceeds bound %d", st.Entries, st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded with one slot per shard and 512 insertions")
+	}
+	// The most recently inserted key of some shard is referenced; it
+	// must still be resident.
+	last := keys[len(keys)-1]
+	if _, ok := m.get(last); !ok {
+		t.Fatal("most recent insertion already evicted")
+	}
+}
+
+// TestExecMemoInvalidationOnWorldChange pins the generation check in
+// isolation: a validate against a different world fingerprint purges
+// every entry and counts one invalidation.
+func TestExecMemoInvalidationOnWorldChange(t *testing.T) {
+	m := NewMemo(0)
+	m.validate(1)
+	keys := memoTraceKeys(100)
+	for i, k := range keys {
+		m.put(k, float64(i))
+	}
+	m.validate(1) // same world: no-op
+	if st := m.Stats(); st.Invalidations != 0 || st.Entries != 100 {
+		t.Fatalf("same-world validate purged: %+v", st)
+	}
+	m.validate(2)
+	st := m.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("entries after world change = %d, want 0", st.Entries)
+	}
+	if _, ok := m.get(keys[0]); ok {
+		t.Fatal("stale entry served after world change")
+	}
+}
+
+// TestAdvisorRetainedStateAcrossStatsRefresh is the end-to-end staleness
+// regression of the satellite bugfixes: one advisor retaining a memo and
+// a solve cache across recommendations must (a) serve an unchanged
+// window entirely from the retained state and (b) discard ALL of it —
+// memo entries and cost tables — the moment the table's histograms are
+// mutated in place, because the fingerprints changed even though every
+// pointer stayed the same.
+func TestAdvisorRetainedStateAcrossStatsRefresh(t *testing.T) {
+	_, adv := testAdvisor(t)
+	w := testWorkload(t)
+	opts := paperOpts(2)
+	opts.Memo = NewMemo(0)
+	opts.Cache = core.NewSolveCache()
+
+	rec1, err := adv.Recommend(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Stats.WhatIfCalls == 0 {
+		t.Fatal("first solve performed no what-if costings")
+	}
+
+	// Unchanged world: the re-solve must be served wholly from the
+	// retained memo (zero fresh costings) and warm-start the cost tables
+	// from the retained cache despite the model instance being new.
+	rec2, err := adv.Recommend(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec2.Stats.WhatIfCalls; got != 0 {
+		t.Fatalf("unchanged-window re-solve performed %d what-if costings, want 0 (memo not reused)", got)
+	}
+	if got := rec2.Problem.Metrics.MatrixBuilds(); got != 0 {
+		t.Fatalf("unchanged-window re-solve built %d matrices, want 0 (cache not warm-started)", got)
+	}
+	if rec2.Problem.Metrics.MatrixReuses() == 0 {
+		t.Fatal("unchanged-window re-solve recorded no matrix reuse")
+	}
+	if rec1.Solution.Cost != rec2.Solution.Cost {
+		t.Fatalf("re-solve cost %v != first cost %v", rec2.Solution.Cost, rec1.Solution.Cost)
+	}
+	if st := opts.Memo.Stats(); st.Invalidations != 0 {
+		t.Fatalf("unchanged world purged the memo: %+v", st)
+	}
+
+	// "Refresh the statistics": mutate the histograms in place — same
+	// TableStats pointer, new contents. Both fingerprints must change.
+	for _, cs := range adv.table.Stats.Columns {
+		cs.NDV = cs.NDV/2 + 1
+		if cs.Hist != nil {
+			for i := range cs.Hist.Buckets {
+				cs.Hist.Buckets[i].Count = cs.Hist.Buckets[i].Count*3 + 7
+			}
+		}
+	}
+
+	rec3, err := adv.Recommend(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := opts.Memo.Stats(); st.Invalidations != 1 {
+		t.Fatalf("Invalidations after stats refresh = %d, want 1", st.Invalidations)
+	}
+	if got := rec3.Stats.WhatIfCalls; got == 0 {
+		t.Fatal("post-refresh solve served stale memo entries (0 what-if costings)")
+	}
+	if got := rec3.Problem.Metrics.MatrixBuilds(); got != 1 {
+		t.Fatalf("post-refresh solve built %d matrices, want 1 (stale tables replayed)", got)
+	}
+}

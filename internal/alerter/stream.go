@@ -1,0 +1,66 @@
+package alerter
+
+import (
+	"context"
+	"sync"
+
+	"dyndesign/internal/core"
+	"dyndesign/internal/workload"
+)
+
+// Stream adapts an Alerter — which is single-goroutine by design — to a
+// concurrent ingest path: Observe calls from any number of producers
+// are serialized behind a mutex, and every alert that fires is handed
+// to the OnAlert callback while the lock is still held, so alerts are
+// delivered exactly once and in window order. This is the drift-trigger
+// hookup the advisor service uses: OnAlert schedules a re-solve instead
+// of a timer.
+type Stream struct {
+	mu      sync.Mutex
+	a       *Alerter
+	onAlert func(Alert)
+}
+
+// NewStream wraps an Alerter for concurrent producers. onAlert may be
+// nil, in which case alerts are only returned to the observing caller.
+func NewStream(a *Alerter, onAlert func(Alert)) *Stream {
+	return &Stream{a: a, onAlert: onAlert}
+}
+
+// Observe feeds one statement through the underlying alerter,
+// serialized against every other producer. When the window check fires,
+// the alert is passed to the OnAlert callback and returned.
+func (s *Stream) Observe(ctx context.Context, stmt workload.Statement) (*Alert, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alert, err := s.a.ObserveContext(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	if alert != nil && s.onAlert != nil {
+		s.onAlert(*alert)
+	}
+	return alert, nil
+}
+
+// SetCurrent informs the alerter that the installed design changed
+// (e.g. a re-solve was adopted); it also resets the alert cooldown.
+func (s *Stream) SetCurrent(c core.Config) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.SetCurrent(c)
+}
+
+// Current returns the configuration the alerter believes is installed.
+func (s *Stream) Current() core.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.Current()
+}
+
+// Observed returns how many statements the alerter has seen.
+func (s *Stream) Observed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.Observed()
+}

@@ -28,16 +28,58 @@ type SolveCache struct {
 }
 
 type cacheEntry struct {
-	model   CostModel
-	stages  int
-	initial Config
-	final   *Config
-	configs []Config
-	m       *matrices
+	model CostModel
+	// version and versioned record the model's ModelVersion at build
+	// time when it implements VersionedModel; a later solve whose model
+	// reports a different version never reuses the entry.
+	version   uint64
+	versioned bool
+	stages    int
+	initial   Config
+	final     *Config
+	configs   []Config
+	m         *matrices
 }
 
 // NewSolveCache returns an empty cache ready to attach to a Problem.
 func NewSolveCache() *SolveCache { return &SolveCache{} }
+
+// VersionedModel is an optional CostModel capability for models whose
+// outputs can change over a long lifetime — refreshed statistics,
+// mutated histograms, a re-analyzed table. ModelVersion must return a
+// fingerprint of everything EXEC, TRANS, and SIZE depend on (statistics
+// epoch, physical descriptions, the workload segments behind each
+// stage): equal versions mean the cost functions are extensionally
+// equal. The SolveCache uses it two ways: a cached entry whose model
+// reports a new version is invalidated instead of replaying tables from
+// a dead world, and two distinct model instances of the same dynamic
+// type reporting equal versions may share tables — the warm start a
+// long-running advisor gets when it re-solves an unchanged window.
+type VersionedModel interface {
+	ModelVersion() uint64
+}
+
+// modelVersion returns the model's version fingerprint when it exposes
+// one.
+func modelVersion(m CostModel) (uint64, bool) {
+	if vm, ok := m.(VersionedModel); ok {
+		return vm.ModelVersion(), true
+	}
+	return 0, false
+}
+
+// sameWorld reports whether the entry's tables describe the same cost
+// world as the problem's model: the same instance at an unchanged
+// version, or — for versioned models only — another instance of the
+// same dynamic type whose fingerprint matches.
+func (e *cacheEntry) sameWorld(p *Problem) bool {
+	ver, versioned := modelVersion(p.Model)
+	if e.model == p.Model {
+		return !versioned || (e.versioned && e.version == ver)
+	}
+	return versioned && e.versioned && e.version == ver &&
+		reflect.TypeOf(e.model) == reflect.TypeOf(p.Model)
+}
 
 // comparableModel guards the interface comparisons the cache key needs:
 // a model of a non-comparable dynamic type (all the repo's models are
@@ -48,7 +90,7 @@ func comparableModel(m CostModel) bool {
 }
 
 func (e *cacheEntry) matches(p *Problem, configs []Config) bool {
-	if e == nil || e.model != p.Model || e.stages != p.Stages || e.initial != p.Initial {
+	if e == nil || !e.sameWorld(p) || e.stages != p.Stages || e.initial != p.Initial {
 		return false
 	}
 	if (e.final == nil) != (p.Final == nil) {
@@ -100,6 +142,10 @@ func (c *SolveCache) tables(ctx context.Context, p *Problem, configs []Config, n
 		faulted.trans = trans
 		return &faulted, nil
 	}
+	// Capture the model version before evaluating it: if the world
+	// changes mid-build, the recorded (pre-build) version differs from
+	// the next solve's and the entry is conservatively rebuilt.
+	ver, versioned := modelVersion(p.Model)
 	m, err := p.buildMatrices(ctx, configs, needTrans)
 	if err != nil {
 		return nil, err
@@ -111,7 +157,8 @@ func (c *SolveCache) tables(ctx context.Context, p *Problem, configs []Config, n
 			final = &f
 		}
 		c.entry = &cacheEntry{
-			model: p.Model, stages: p.Stages, initial: p.Initial,
+			model: p.Model, version: ver, versioned: versioned,
+			stages: p.Stages, initial: p.Initial,
 			final: final, configs: configs, m: m,
 		}
 	}
@@ -132,7 +179,7 @@ func (c *SolveCache) peek(p *Problem) *matrices {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.entry
-	if e == nil || e.model != p.Model || e.stages != p.Stages {
+	if e == nil || !e.sameWorld(p) || e.stages != p.Stages {
 		return nil
 	}
 	p.Metrics.noteMatrixReuse()

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -33,6 +34,14 @@ type CLIConfig struct {
 	// families — the CLIs publish explanation gauges (k-sweep curve,
 	// audit regret) through it.
 	Gauges *GaugeSet
+	// FlushCtx, when non-nil, arms crash-ordering protection for the
+	// JSONL trace sink: the moment the context is cancelled (the
+	// signal path) a watcher flushes the writer's buffer to disk, so
+	// every span emitted before the signal survives even if the
+	// process later exits through a path that skips teardown
+	// (os.Exit, a second uncatchable signal). Teardown still owns the
+	// close.
+	FlushCtx context.Context
 }
 
 // enabled reports whether any span-collecting sink is configured.
@@ -75,6 +84,24 @@ func Setup(cfg CLIConfig) (tracer *Tracer, teardown func(), err error) {
 				fmt.Fprintf(os.Stderr, "obs: closing trace file: %v\n", err)
 			}
 		})
+		if cfg.FlushCtx != nil {
+			// Flush the tail buffer the moment the run is cancelled;
+			// Flush and the eventual Close serialize on the writer's
+			// mutex, so the watcher can never corrupt the teardown.
+			// Flush errors are sticky and resurface at Close, which is
+			// where they are reported. The watcher cleanup is appended
+			// after the close cleanup so teardown (which runs in
+			// reverse) retires the watcher before closing the file.
+			watcherDone := make(chan struct{})
+			go func() {
+				select {
+				case <-cfg.FlushCtx.Done():
+					_ = jw.Flush()
+				case <-watcherDone:
+				}
+			}()
+			cleanups = append(cleanups, func() { close(watcherDone) })
+		}
 	}
 	if cfg.MetricsAddr != "" || cfg.PprofAddr != "" {
 		stop, err := StartHTTP(cfg.MetricsAddr, cfg.PprofAddr, agg, cfg.Gauges)

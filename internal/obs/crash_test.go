@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestJSONLFlushOnCancel is the crash-ordering regression for the
+// signal-teardown path: every span emitted before the run's context is
+// cancelled must be durably on disk once the cancellation is processed,
+// WITHOUT teardown running — the situation of a SIGTERM-cancelled
+// process that exits through os.Exit or a second, uncatchable signal.
+func TestJSONLFlushOnCancel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tracer, teardown, err := Setup(CLIConfig{TracePath: path, FlushCtx: ctx})
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	teardownRan := false
+	defer func() {
+		if !teardownRan {
+			teardown()
+		}
+	}()
+
+	tracer.Start("crash.first").End()
+	last := tracer.Start("crash.last")
+	last.End(String("marker", "tail"))
+
+	// The signal arrives: the watcher must flush the buffered tail.
+	cancel()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var recs []SpanRecord
+	for {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("open trace: %v", err)
+		}
+		recs, err = ReadJSONL(f)
+		f.Close()
+		if err == nil && len(recs) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("last span not flushed after cancel: %d records, err %v", len(recs), err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if recs[len(recs)-1].Name != "crash.last" {
+		t.Fatalf("last flushed span = %q, want crash.last", recs[len(recs)-1].Name)
+	}
+
+	// Teardown after the cancel-flush must still close cleanly and not
+	// duplicate records.
+	teardown()
+	teardownRan = true
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open trace after teardown: %v", err)
+	}
+	defer f.Close()
+	final, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("ReadJSONL after teardown: %v", err)
+	}
+	if len(final) != 2 {
+		t.Fatalf("got %d records after teardown, want 2", len(final))
+	}
+}
+
+// TestJSONLFlushWatcherRetiredByTeardown pins that a clean (uncancelled)
+// run tears down without leaking the watcher or dropping spans.
+func TestJSONLFlushWatcherRetiredByTeardown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tracer, teardown, err := Setup(CLIConfig{TracePath: path, FlushCtx: ctx})
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	tracer.Start("clean.span").End()
+	teardown()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	recs, err := ReadJSONL(f)
+	if err != nil || len(recs) != 1 || recs[0].Name != "clean.span" {
+		t.Fatalf("clean teardown: recs %v, err %v", recs, err)
+	}
+}

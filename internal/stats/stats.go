@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"dyndesign/internal/storage"
@@ -160,6 +161,94 @@ func buildColumn(name string, vals []types.Value, numBuckets int) *ColumnStats {
 // Column returns the stats for a column (case-insensitive), or nil.
 func (ts *TableStats) Column(name string) *ColumnStats {
 	return ts.Columns[lower(name)]
+}
+
+// Fingerprint hashes the statistics content — row counts, NDVs, and
+// every histogram bucket — into one 64-bit value. Two TableStats with
+// equal fingerprints yield the same selectivity estimates, so cost
+// models use it as their statistics epoch: a refreshed ANALYZE or an
+// in-place histogram mutation changes the fingerprint and invalidates
+// anything cached against the old world. A nil receiver hashes to 0.
+func (ts *TableStats) Fingerprint() uint64 {
+	if ts == nil {
+		return 0
+	}
+	h := fnvHash{}
+	h.string(ts.Table)
+	h.int(ts.Rows)
+	h.int(int64(math.Float64bits(ts.RowBytes)))
+	names := make([]string, 0, len(ts.Columns))
+	for name := range ts.Columns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cs := ts.Columns[name]
+		h.string(name)
+		h.int(cs.Rows)
+		h.int(cs.NDV)
+		if cs.Hist == nil {
+			continue
+		}
+		h.value(cs.Hist.Min)
+		h.value(cs.Hist.Max)
+		h.int(cs.Hist.Rows)
+		for _, b := range cs.Hist.Buckets {
+			h.value(b.Upper)
+			h.int(b.Count)
+			h.int(b.Distinct)
+		}
+	}
+	return h.sum()
+}
+
+// fnvHash is a tiny FNV-1a accumulator over the mixed field types the
+// fingerprint walks.
+type fnvHash struct {
+	h uint64
+	// started distinguishes the zero value from an initialized hash.
+	started bool
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (f *fnvHash) init() {
+	if !f.started {
+		f.h = fnvOffset
+		f.started = true
+	}
+}
+
+func (f *fnvHash) byte(b byte) {
+	f.init()
+	f.h = (f.h ^ uint64(b)) * fnvPrime
+}
+
+func (f *fnvHash) int(v int64) {
+	for i := 0; i < 8; i++ {
+		f.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (f *fnvHash) string(s string) {
+	f.int(int64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.byte(s[i])
+	}
+}
+
+func (f *fnvHash) value(v types.Value) {
+	f.byte(byte(v.Kind))
+	f.int(v.Int)
+	f.string(v.Str)
+}
+
+func (f *fnvHash) sum() uint64 {
+	f.init()
+	return f.h
 }
 
 // SelectivityEq estimates the fraction of rows with column = v.

@@ -1,0 +1,95 @@
+package workload
+
+import "fmt"
+
+// Window maintains the most recent statements of an unbounded stream in
+// a fixed-capacity ring — the incremental structure a long-running
+// advisor re-solves over. Appends are O(1): a full sliding window
+// evicts its oldest statement, a tumbling window is Reset explicitly at
+// epoch boundaries. Snapshot materializes the current contents as a
+// Workload without disturbing the ring.
+//
+// A Window is not safe for concurrent use; the advisor service
+// serializes ingestion and snapshots behind its own lock.
+type Window struct {
+	name   string
+	cap    int
+	stmts  []Statement
+	labels []string
+	start  int // ring position of the oldest statement
+	n      int // current fill
+	total  int64
+	seq    uint64
+}
+
+// NewWindow builds an empty window holding at most capacity statements.
+func NewWindow(name string, capacity int) (*Window, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("workload: window capacity must be positive, got %d", capacity)
+	}
+	return &Window{
+		name:   name,
+		cap:    capacity,
+		stmts:  make([]Statement, capacity),
+		labels: make([]string, capacity),
+	}, nil
+}
+
+// Append adds one statement with its mix label, evicting the oldest
+// statement when the window is full.
+func (w *Window) Append(label string, s Statement) {
+	pos := (w.start + w.n) % w.cap
+	if w.n == w.cap {
+		// Full: the slot being written is the oldest; slide the start.
+		w.start = (w.start + 1) % w.cap
+	} else {
+		w.n++
+	}
+	w.stmts[pos] = s
+	w.labels[pos] = label
+	w.total++
+	w.seq++
+}
+
+// Reset empties the window (the tumbling-mode epoch boundary). Total
+// and Seq keep counting across resets.
+func (w *Window) Reset() {
+	// Drop references so evicted statements are collectable.
+	for i := range w.stmts {
+		w.stmts[i] = Statement{}
+		w.labels[i] = ""
+	}
+	w.start, w.n = 0, 0
+	w.seq++
+}
+
+// Len returns the number of statements currently in the window.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return w.cap }
+
+// Total returns how many statements were ever appended.
+func (w *Window) Total() int64 { return w.total }
+
+// Seq returns a counter bumped by every mutation; two equal Seq values
+// bracket an unchanged window, so a service can tell whether a
+// recommendation is stale relative to ingestion.
+func (w *Window) Seq() uint64 { return w.seq }
+
+// Snapshot copies the window contents, oldest first, into a fresh
+// Workload. The returned workload shares no storage with the ring, so
+// it stays valid while ingestion continues.
+func (w *Window) Snapshot() *Workload {
+	out := &Workload{
+		Name:       fmt.Sprintf("%s@%d", w.name, w.seq),
+		Statements: make([]Statement, w.n),
+		Labels:     make([]string, w.n),
+	}
+	for i := 0; i < w.n; i++ {
+		pos := (w.start + i) % w.cap
+		out.Statements[i] = w.stmts[pos]
+		out.Labels[i] = w.labels[pos]
+	}
+	return out
+}

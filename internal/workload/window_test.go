@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+func wstmt(t *testing.T, i int) Statement {
+	t.Helper()
+	s, err := NewStatement(fmt.Sprintf("SELECT a FROM t WHERE a = %d", i))
+	if err != nil {
+		t.Fatalf("NewStatement: %v", err)
+	}
+	return s
+}
+
+func TestWindowCapacityValidation(t *testing.T) {
+	if _, err := NewWindow("w", 0); err == nil {
+		t.Fatal("NewWindow(0) succeeded, want error")
+	}
+	if _, err := NewWindow("w", -3); err == nil {
+		t.Fatal("NewWindow(-3) succeeded, want error")
+	}
+}
+
+func TestWindowSlidingEviction(t *testing.T) {
+	w, err := NewWindow("w", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w.Append(fmt.Sprintf("L%d", i), wstmt(t, i))
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	if w.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", w.Total())
+	}
+	snap := w.Snapshot()
+	if snap.Len() != 3 {
+		t.Fatalf("snapshot Len = %d, want 3", snap.Len())
+	}
+	// Oldest first: statements 2, 3, 4 survive.
+	for i, want := range []int{2, 3, 4} {
+		wantSQL := fmt.Sprintf("SELECT a FROM t WHERE a = %d", want)
+		if snap.Statements[i].SQL != wantSQL {
+			t.Errorf("snapshot[%d].SQL = %q, want %q", i, snap.Statements[i].SQL, wantSQL)
+		}
+		wantLabel := fmt.Sprintf("L%d", want)
+		if snap.Labels[i] != wantLabel {
+			t.Errorf("snapshot label[%d] = %q, want %q", i, snap.Labels[i], wantLabel)
+		}
+	}
+}
+
+func TestWindowSnapshotIsolation(t *testing.T) {
+	w, err := NewWindow("w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append("a", wstmt(t, 1))
+	snap := w.Snapshot()
+	seq := w.Seq()
+	// Ingestion after the snapshot must not disturb it.
+	w.Append("b", wstmt(t, 2))
+	w.Append("c", wstmt(t, 3))
+	if snap.Len() != 1 || snap.Statements[0].SQL != wstmt(t, 1).SQL {
+		t.Fatalf("snapshot mutated by later appends: %+v", snap)
+	}
+	if w.Seq() == seq {
+		t.Fatal("Seq unchanged after appends")
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w, err := NewWindow("w", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w.Append("a", wstmt(t, i))
+	}
+	seq := w.Seq()
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", w.Len())
+	}
+	if w.Total() != 3 {
+		t.Fatalf("Total after Reset = %d, want 3 (resets keep counting)", w.Total())
+	}
+	if w.Seq() <= seq {
+		t.Fatalf("Seq after Reset = %d, want > %d", w.Seq(), seq)
+	}
+	if snap := w.Snapshot(); snap.Len() != 0 {
+		t.Fatalf("snapshot after Reset has %d statements", snap.Len())
+	}
+	// The window refills normally after a reset.
+	w.Append("b", wstmt(t, 9))
+	if snap := w.Snapshot(); snap.Len() != 1 || snap.Labels[0] != "b" {
+		t.Fatalf("refill after Reset: %+v", snap)
+	}
+}
+
+func TestWindowSnapshotSegmentsLikeWorkload(t *testing.T) {
+	// A snapshot behaves exactly like a directly-built workload:
+	// label-snapped segmentation included.
+	w, err := NewWindow("w", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := &Workload{Name: "direct"}
+	for i := 0; i < 6; i++ {
+		label := "A"
+		if i >= 3 {
+			label = "C"
+		}
+		s := wstmt(t, i)
+		w.Append(label, s)
+		direct.Append(label, s)
+	}
+	got := w.Snapshot().Segments(4)
+	want := direct.Segments(4)
+	if len(got) != len(want) {
+		t.Fatalf("segments: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Label != want[i].Label || len(got[i].Statements) != len(want[i].Statements) {
+			t.Errorf("segment %d: got (%q, %d), want (%q, %d)", i,
+				got[i].Label, len(got[i].Statements), want[i].Label, len(want[i].Statements))
+		}
+	}
+}
