@@ -6,7 +6,7 @@ GO ?= go
 # fails.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1 explain-smoke fuzz-smoke advisord-smoke
+.PHONY: all build vet test race bench bench-check cover-check chaos lint tier1 explain-smoke fuzz-smoke advisord-smoke advisord-crash
 
 all: tier1
 
@@ -78,6 +78,17 @@ explain-smoke:
 # timer), and a parseable GET /recommendation. See DESIGN.md §13.
 advisord-smoke:
 	$(GO) test -race -count=1 -run TestAdvisordSmoke -v ./cmd/advisord/
+
+# advisord-crash runs the crash-restart equivalence harness under the
+# race detector: advisord children are SIGKILLed at seeded chaos points
+# (mid-WAL-append, pre-fsync, at segment rotation, and at each stage of
+# the atomic snapshot write), restarted over the same data dir, and the
+# recovered recommendation must be byte-identical to an uninterrupted
+# run over the same trace. On a mismatch the harness writes the two
+# recommendation bodies to $$ADVISORD_CRASH_ARTIFACTS (CI uploads
+# them). See DESIGN.md §14.
+advisord-crash:
+	$(GO) test -race -count=1 -run 'TestAdvisordCrashRecovery|TestServiceRecoveryRoundTrip|TestAdvisordShutdownWaitsForSolver|TestAdvisordIngestShedsUnderWALStall' -v ./cmd/advisord/ ./internal/durable/
 
 # lint runs vet, gofmt, and staticcheck when the binary is present
 # (the check is skipped, not failed, on machines without it).

@@ -7,8 +7,21 @@
 // Endpoints:
 //
 //	POST /ingest          {"sql": "SELECT ..."} or {"statements": [{"label": "A", "sql": "..."}]}
+//	POST /solve           force a synchronous re-solve and return the fresh recommendation
 //	GET  /recommendation  last published design sequence, DDL steps, and provenance
-//	GET  /healthz         ingest/solve counters and memo occupancy
+//	GET  /healthz         ingest/solve counters, memo occupancy, and WAL/recovery state
+//
+// With -data-dir the service is crash-safe: every accepted statement is
+// appended to a CRC-framed, fsync-batched write-ahead log BEFORE the
+// window sees it, and the derived state (window ring, installed design,
+// last-known-good solution, drift-detector costs) is snapshotted after
+// every published solve. On restart the service loads the newest valid
+// snapshot, replays the WAL tail, truncates torn records at the first
+// bad frame, and resumes where it left off; /healthz window_total is
+// the resume cursor for clients replaying a trace. Ingest is bounded:
+// past -max-inflight concurrent requests the service sheds with 429 +
+// Retry-After instead of queueing, and bodies beyond -max-body-bytes
+// get 413. See DESIGN.md §14.
 //
 // Re-solves warm-start from state retained across windows: the what-if
 // EXEC memo (keyed by segment content, capped with clock eviction), the
@@ -43,6 +56,7 @@ import (
 	"dyndesign/internal/alerter"
 	"dyndesign/internal/candidates"
 	"dyndesign/internal/core"
+	"dyndesign/internal/durable"
 	"dyndesign/internal/engine"
 	"dyndesign/internal/experiments"
 	"dyndesign/internal/obs"
@@ -70,7 +84,13 @@ func run(ctx context.Context) error {
 	segment := flag.Int("segment", 1, "statements per optimization stage")
 	windowCap := flag.Int("window", 500, "sliding window capacity in statements")
 	tumbling := flag.Bool("tumbling", false, "reset the window at every re-solve instead of sliding it")
-	minSolve := flag.Int("min-statements", 25, "window fill that triggers the first solve")
+	minSolve := flag.Int("min-statements", 25, "window fill that triggers the first solve (negative = solve only on POST /solve)")
+	dataDir := flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
+	fsyncEvery := flag.Int("fsync-every", 1, "fsync the WAL after every Nth ingested statement (1 = every statement)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 4<<20, "rotate the WAL to a fresh segment file at this size")
+	snapshotEvery := flag.Int("snapshot-every", 0, "also snapshot after every N ingested statements (0 = snapshot only after solves)")
+	maxInflight := flag.Int("max-inflight", 64, "concurrent /ingest requests before shedding with 429 (negative = unbounded)")
+	maxBody := flag.Int64("max-body-bytes", 1<<20, "request body cap in bytes; larger bodies get 413 (negative = unlimited)")
 	memoCap := flag.Int("memo-cap", 1<<20, "retained what-if memo bound in entries (0 = unbounded)")
 	solveTimeout := flag.Duration("solve-timeout", 30*time.Second, "deadline per solve attempt (0 = none)")
 	fallback := flag.Bool("fallback", true, "degrade to cheaper strategies (and last-known-good) when a solve attempt fails")
@@ -114,18 +134,29 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	var store *durable.Store
+	if *dataDir != "" {
+		store, err = durable.Open(*dataDir, durable.Options{FsyncEvery: *fsyncEvery, SegmentBytes: *walSegmentBytes})
+		if err != nil {
+			return err
+		}
+	}
 	svc, err := newService(adv, serviceConfig{
-		WindowCap:   *windowCap,
-		Tumbling:    *tumbling,
-		MinSolve:    *minSolve,
-		MemoCap:     *memoCap,
-		K:           *k,
-		Strategy:    core.Strategy(*strategyFlag),
-		SegmentSize: *segment,
-		Timeout:     *solveTimeout,
-		Fallback:    *fallback,
-		Parallelism: *parallelism,
-		Explain:     *explainFlag,
+		WindowCap:     *windowCap,
+		Tumbling:      *tumbling,
+		MinSolve:      *minSolve,
+		MemoCap:       *memoCap,
+		K:             *k,
+		Strategy:      core.Strategy(*strategyFlag),
+		SegmentSize:   *segment,
+		Timeout:       *solveTimeout,
+		Fallback:      *fallback,
+		Parallelism:   *parallelism,
+		Explain:       *explainFlag,
+		Store:         store,
+		SnapshotEvery: *snapshotEvery,
+		MaxInflight:   *maxInflight,
+		MaxBody:       *maxBody,
 		Alerter: alerter.Options{
 			WindowSize: *alertWindow,
 			CheckEvery: *alertEvery,
@@ -135,31 +166,65 @@ func run(ctx context.Context) error {
 		Gauges: gauges,
 	})
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return err
 	}
 
+	// The solver gets its own context so shutdown can order things
+	// deterministically: drain HTTP, cancel any in-flight solve, wait
+	// for the solver goroutine to exit, and only then write the final
+	// snapshot and release the data dir (svc.close). A snapshot can
+	// therefore never race a publishing solve.
+	solverCtx, cancelSolver := context.WithCancel(context.Background())
+	defer cancelSolver()
 	solverDone := make(chan struct{})
 	go func() {
 		defer close(solverDone)
-		svc.run(ctx)
+		svc.run(solverCtx)
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: svc.mux()}
+	// Full server timeouts: a slow or stalled client cannot hold a
+	// connection (and its handler goroutine) forever. The write timeout
+	// leaves room for a forced solve to run to its own deadline.
+	writeTimeout := *solveTimeout + 30*time.Second
+	if *solveTimeout <= 0 {
+		writeTimeout = 0
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	srvErr := make(chan error, 1)
 	go func() { srvErr <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "advisord: serving on %s (window %d, k %d, drift-triggered re-solves)\n",
 		*addr, *windowCap, *k)
 
-	select {
-	case <-ctx.Done():
+	shutdown := func() error {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutCtx)
+		cancelSolver()
 		<-solverDone
+		return svc.close()
+	}
+	select {
+	case <-ctx.Done():
+		if err := shutdown(); err != nil {
+			fmt.Fprintf(os.Stderr, "advisord: shutdown: %v\n", err)
+		}
 		return ctx.Err()
 	case err := <-srvErr:
 		if errors.Is(err, http.ErrServerClosed) {
 			err = nil
+		}
+		if serr := shutdown(); err == nil {
+			err = serr
 		}
 		return err
 	}

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dyndesign/internal/durable"
+)
+
+// stalledStore opens a durable store whose first fsync blocks until
+// gate is closed — the induced "disk fell behind" condition.
+func stalledStore(t *testing.T, gate chan struct{}) *durable.Store {
+	t.Helper()
+	store, err := durable.Open(t.TempDir(), durable.Options{BeforeSync: func() { <-gate }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store
+}
+
+// TestAdvisordIngestShedsUnderWALStall pins the overload contract: when
+// the WAL stalls (fsync blocked), at most MaxInflight ingest requests
+// occupy the server; every request beyond that is shed immediately with
+// 429 + Retry-After instead of queueing. The bound is exact — with 4
+// slots wedged, all 36 remaining requests shed — which is what keeps a
+// stalled disk from growing memory without limit.
+func TestAdvisordIngestShedsUnderWALStall(t *testing.T) {
+	adv := testAdvisor(t)
+	gate := make(chan struct{})
+	store := stalledStore(t, gate)
+	svc, err := newService(adv, serviceConfig{
+		WindowCap:   50,
+		MinSolve:    -1,
+		MaxInflight: 4,
+		Store:       store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.mux())
+	defer ts.Close()
+	client := ts.Client()
+
+	const total = 40
+	type result struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan result, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(ingestRequest{SQL: "SELECT a FROM t WHERE a = 1"})
+			resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("ingest under stall: %v", err)
+				results <- result{status: -1}
+				return
+			}
+			resp.Body.Close()
+			results <- result{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+		}()
+	}
+
+	// Wait for every excess request to be shed while the WAL is still
+	// stalled, then release the disk and let the admitted ones finish.
+	shed := 0
+	collected := make([]result, 0, total)
+	timeout := time.After(30 * time.Second)
+	for shed < total-4 {
+		select {
+		case r := <-results:
+			collected = append(collected, r)
+			if r.status == http.StatusTooManyRequests {
+				shed++
+			} else if r.status != -1 {
+				t.Fatalf("request completed with %d while the WAL was stalled", r.status)
+			}
+		case <-timeout:
+			t.Fatalf("only %d of %d requests shed while the WAL was stalled", shed, total-4)
+		}
+	}
+	close(gate)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		collected = append(collected, r)
+	}
+
+	ok, tooMany := 0, 0
+	for _, r := range collected {
+		switch r.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			tooMany++
+			if r.retryAfter == "" {
+				t.Error("429 without a Retry-After header")
+			}
+		default:
+			t.Errorf("unexpected status %d", r.status)
+		}
+	}
+	if ok != 4 || tooMany != total-4 {
+		t.Fatalf("got %d accepted / %d shed, want exactly 4 / %d: the inflight bound leaked", ok, tooMany, total-4)
+	}
+	h := getHealthz(t, client, ts.URL)
+	if h.Shed != int64(total-4) || h.Ingested != 4 || h.WindowTotal != 4 {
+		t.Fatalf("counters disagree with the bound: %+v", h)
+	}
+	if h.Durable == nil || h.Durable.WALAppends != 4 {
+		t.Fatalf("WAL saw %+v appends, want exactly the admitted 4", h.Durable)
+	}
+}
+
+// TestAdvisordBodyCapReturns413 pins the body-size guard: oversized
+// /ingest bodies are rejected with 413 and a JSON error before any
+// statement is parsed or logged.
+func TestAdvisordBodyCapReturns413(t *testing.T) {
+	adv := testAdvisor(t)
+	svc, err := newService(adv, serviceConfig{WindowCap: 10, MinSolve: -1, MaxBody: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.mux())
+	defer ts.Close()
+	client := ts.Client()
+
+	huge := `{"sql": "SELECT a FROM t WHERE a = 1", "label": "` + strings.Repeat("x", 4096) + `"}`
+	resp, err := client.Post(ts.URL+"/ingest", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+		t.Fatalf("413 body is not a JSON error: %v %v", e, err)
+	}
+	h := getHealthz(t, client, ts.URL)
+	if h.BodyTooLarge != 1 || h.Ingested != 0 || h.WindowTotal != 0 {
+		t.Fatalf("oversized body touched state: %+v", h)
+	}
+}
+
+// TestAdvisordShutdownWaitsForSolver is the regression gate for the
+// shutdown ordering: with a solve in flight, shutdown (cancel solver,
+// wait for the loop to exit, then close the service) must not complete
+// — and in particular must not write the final snapshot — until the
+// solve has fully returned. The final snapshot therefore can never be
+// written concurrently with a publishing solve.
+func TestAdvisordShutdownWaitsForSolver(t *testing.T) {
+	adv := testAdvisor(t)
+	dir := t.TempDir()
+	store, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := newService(adv, serviceConfig{
+		WindowCap: 50,
+		MinSolve:  -1,
+		K:         2,
+		Store:     store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	svc.solveHook = func(string) {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	solverDone := make(chan struct{})
+	go func() { defer close(solverDone); svc.run(ctx) }()
+
+	ts := httptest.NewServer(svc.mux())
+	defer ts.Close()
+	trace := phasedTrace(t, 5)
+	batch := make([]ingestStatement, trace.Len())
+	for i, stmt := range trace.Statements {
+		batch[i] = ingestStatement{SQL: stmt.SQL, Label: trace.Labels[i]}
+	}
+	postIngest(t, ts.Client(), ts.URL, batch)
+
+	svc.requestSolve("test")
+	<-entered // the solver is now inside solveOnce, wedged
+
+	shutDone := make(chan struct{})
+	go func() {
+		cancel()
+		<-solverDone
+		if err := svc.close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		close(shutDone)
+	}()
+	select {
+	case <-shutDone:
+		t.Fatal("shutdown completed while a solve was still in flight")
+	case <-time.After(300 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-shutDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown never completed after the solve unblocked")
+	}
+
+	// The final snapshot landed after the solver exited and carries the
+	// full ingested window.
+	reopened, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	snap, tail, err := reopened.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || len(snap.Window.Statements) != trace.Len() || len(tail) != 0 {
+		t.Fatalf("final snapshot wrong: snap %+v tail %d", snap, len(tail))
+	}
+}
+
+// TestServiceRecoveryRoundTrip exercises recovery in-process (the
+// subprocess harness covers the SIGKILL path): snapshot + WAL-tail
+// replay must rebuild the window, the installed design, and the
+// last-known-good solution exactly, in both sliding and tumbling modes.
+func TestServiceRecoveryRoundTrip(t *testing.T) {
+	adv := testAdvisor(t)
+	for _, tumbling := range []bool{false, true} {
+		name := "sliding"
+		if tumbling {
+			name = "tumbling"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			store, err := durable.Open(dir, durable.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := serviceConfig{WindowCap: 120, MinSolve: -1, K: 2, SegmentSize: 5, Tumbling: tumbling}
+			cfg.Store = store
+			svc, err := newService(adv, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(svc.mux())
+			trace := phasedTrace(t, 20)
+			batch := make([]ingestStatement, trace.Len())
+			for i, stmt := range trace.Statements {
+				batch[i] = ingestStatement{SQL: stmt.SQL, Label: trace.Labels[i]}
+			}
+			postIngest(t, ts.Client(), ts.URL, batch[:30])
+			if _, err := svc.solveOnce(context.Background(), "test"); err != nil {
+				t.Fatal(err)
+			}
+			postIngest(t, ts.Client(), ts.URL, batch[30:40])
+			ts.Close()
+
+			svc.mu.Lock()
+			wantWin := svc.win.State()
+			svc.mu.Unlock()
+			wantInstalled := svc.installed
+			wantLKG, err := json.Marshal(svc.lkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Close the store WITHOUT the graceful final snapshot — the
+			// crash shape: recovery must lean on the solve-time snapshot
+			// plus the 10-record WAL tail.
+			if err := store.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			store2, err := durable.Open(dir, durable.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store2.Close()
+			cfg.Store = store2
+			svc2, err := newService(adv, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc2.mu.Lock()
+			gotWin := svc2.win.State()
+			svc2.mu.Unlock()
+			wantJSON, _ := json.Marshal(wantWin)
+			gotJSON, _ := json.Marshal(gotWin)
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Fatalf("recovered window differs:\nwant %s\ngot  %s", wantJSON, gotJSON)
+			}
+			if svc2.installed != wantInstalled {
+				t.Fatalf("recovered installed design %v, want %v", svc2.installed, wantInstalled)
+			}
+			if gotLKG, _ := json.Marshal(svc2.lkg); !bytes.Equal(gotLKG, wantLKG) {
+				t.Fatalf("recovered last-known-good differs:\nwant %s\ngot  %s", wantLKG, gotLKG)
+			}
+			if svc2.worldMismatch {
+				t.Fatal("same table, same stats: recovery claimed a cost-world mismatch")
+			}
+			if svc2.recoveredReplay != 10 {
+				t.Fatalf("replayed %d WAL records, want the 10 post-snapshot ones", svc2.recoveredReplay)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"dyndesign/internal/advisor"
 	"dyndesign/internal/alerter"
 	"dyndesign/internal/core"
+	"dyndesign/internal/durable"
 	"dyndesign/internal/explain"
 	"dyndesign/internal/obs"
 	"dyndesign/internal/workload"
@@ -27,8 +29,26 @@ type serviceConfig struct {
 	// instead of sliding it.
 	Tumbling bool
 	// MinSolve is the window fill that triggers the first solve; before
-	// it the service ingests without recommending.
+	// it the service ingests without recommending. Negative disables
+	// automatic solves entirely: recommendations are produced only on
+	// demand via POST /solve (the crash harness relies on this for
+	// deterministic solve points).
 	MinSolve int
+
+	// Store persists the statement stream (WAL) and derived state
+	// (snapshots) across crashes; nil runs the service in-memory only.
+	Store *durable.Store
+	// SnapshotEvery writes a durable snapshot after every N accepted
+	// statements in addition to the one after each published solve
+	// (0 = solve-time snapshots only).
+	SnapshotEvery int
+	// MaxInflight bounds concurrently processed /ingest requests; excess
+	// requests are shed with 429 + Retry-After instead of queueing
+	// (default 64; negative = unbounded).
+	MaxInflight int
+	// MaxBody caps request bodies in bytes; larger bodies get 413
+	// (default 1 MiB; negative = unlimited).
+	MaxBody int64
 	// MemoCap bounds the retained what-if memo (entries; 0 = unbounded).
 	MemoCap int
 
@@ -93,22 +113,58 @@ type service struct {
 	snap    atomic.Pointer[snapshot]
 	trigger chan string // buffered(1): pending re-solves coalesce
 
-	ingested    atomic.Int64
-	batches     atomic.Int64
-	rejected    atomic.Int64
-	driftAlerts atomic.Int64
-	resolves    atomic.Int64
-	solveErrors atomic.Int64
+	// store is the durable WAL + snapshot directory (nil = in-memory).
+	// WAL appends happen under mu together with the window mutation, so
+	// log order always equals window order.
+	store *durable.Store
+	// snapCh requests a durable snapshot from the solver goroutine
+	// (buffered(1): pending requests coalesce like solve triggers).
+	snapCh chan struct{}
+	// forceCh carries synchronous POST /solve requests to the solver
+	// goroutine, which owns all solver state.
+	forceCh chan chan forcedSolve
+	// inflight is the ingest admission semaphore; nil means unbounded.
+	inflight chan struct{}
+	// replaying suppresses drift-alert side effects while the WAL tail
+	// is re-observed during recovery (set only before serving starts).
+	replaying bool
+	// solveHook, when non-nil, runs at the start of every solve attempt
+	// — the test seam for holding a solve in flight.
+	solveHook func(reason string)
+
+	// Recovery facts, fixed before serving starts.
+	recoveredSnapSeq uint64
+	recoveredReplay  int
+	worldMismatch    bool
+
+	ingested     atomic.Int64
+	batches      atomic.Int64
+	rejected     atomic.Int64
+	shed         atomic.Int64
+	bodyTooLarge atomic.Int64
+	sinceSnap    atomic.Int64
+	driftAlerts  atomic.Int64
+	resolves     atomic.Int64
+	solveErrors  atomic.Int64
+	snapErrors   atomic.Int64
+}
+
+// forcedSolve is the solver goroutine's answer to a POST /solve.
+type forcedSolve struct {
+	rec *advisor.Recommendation
+	err error
 }
 
 // newService wires the window, drift alerter, and retained caches over
-// an advisor. The advisor's design space must use an explicit Configs
-// list (the alerter watches it).
+// an advisor, then — when a durable store is configured — recovers the
+// persisted state before the service takes traffic. The advisor's
+// design space must use an explicit Configs list (the alerter watches
+// it).
 func newService(adv *advisor.Advisor, cfg serviceConfig) (*service, error) {
 	if cfg.WindowCap <= 0 {
 		cfg.WindowCap = 500
 	}
-	if cfg.MinSolve <= 0 {
+	if cfg.MinSolve == 0 {
 		cfg.MinSolve = 25
 	}
 	if cfg.MinSolve > cfg.WindowCap {
@@ -116,6 +172,12 @@ func newService(adv *advisor.Advisor, cfg serviceConfig) (*service, error) {
 	}
 	if cfg.Strategy == "" {
 		cfg.Strategy = core.StrategyKAware
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxBody == 0 {
+		cfg.MaxBody = 1 << 20
 	}
 	configs := adv.Space().Configs
 	if configs == nil {
@@ -132,18 +194,98 @@ func newService(adv *advisor.Advisor, cfg serviceConfig) (*service, error) {
 		memo:    advisor.NewMemo(cfg.MemoCap),
 		cache:   core.NewSolveCache(),
 		trigger: make(chan string, 1),
+		store:   cfg.Store,
+		snapCh:  make(chan struct{}, 1),
+		forceCh: make(chan chan forcedSolve),
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
 	a, err := alerter.New(adv, configs, core.Config(0), cfg.Alerter)
 	if err != nil {
 		return nil, err
 	}
 	// The drift hookup: an alert — not a timer — schedules the re-solve.
+	// During WAL replay the stream re-observes statements whose alerts
+	// (if any) already fired in the previous life; they are dropped.
 	s.stream = alerter.NewStream(a, func(alerter.Alert) {
+		if s.replaying {
+			return
+		}
 		s.driftAlerts.Add(1)
 		s.requestSolve("drift")
 	})
+	if s.store != nil {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 	s.helpGauges()
+	s.publishRecoveryGauges()
 	return s, nil
+}
+
+// recover restores the service from the durable store: newest valid
+// snapshot first, then the WAL tail replayed through the window and the
+// drift alerter in original stream order (RecordReset markers reproduce
+// tumbling epoch boundaries exactly). Cost-derived state — the
+// last-known-good solution and the alerter's cost ring — is dropped
+// when the table-statistics fingerprint changed since the snapshot:
+// those numbers were computed in a dead cost world. The window and the
+// installed design survive a fingerprint change; the installed indexes
+// are physically there regardless of what statistics say.
+func (s *service) recover() error {
+	snap, tail, err := s.store.Recover()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		if err := s.win.RestoreState(snap.Window); err != nil {
+			return fmt.Errorf("advisord: restoring window from snapshot seq %d: %w", snap.Seq, err)
+		}
+		s.installed = snap.Installed
+		if err := s.stream.SetCurrent(s.installed); err != nil {
+			return fmt.Errorf("advisord: snapshot's installed design is outside the design space (schema flags changed?): %w", err)
+		}
+		if snap.StatsFingerprint == s.adv.StatsFingerprint() {
+			s.lkg = snap.LastKnownGood
+			if snap.Alerter != nil {
+				if err := s.stream.RestoreState(*snap.Alerter); err != nil {
+					// Shape mismatch (alerter flags changed): the drift
+					// detector starts cold, which only delays the next
+					// alert — not worth failing recovery over.
+					fmt.Fprintf(os.Stderr, "advisord: alerter state not restored (%v); drift detection starts cold\n", err)
+				}
+			}
+		} else {
+			s.worldMismatch = true
+		}
+		s.recoveredSnapSeq = snap.Seq
+	}
+	s.replaying = true
+	defer func() { s.replaying = false }()
+	for _, rec := range tail {
+		switch rec.Kind {
+		case durable.RecordReset:
+			s.win.Reset()
+		case durable.RecordStatement:
+			stmt, err := workload.NewStatement(rec.SQL)
+			if err != nil {
+				return fmt.Errorf("advisord: WAL record %d no longer parses (data dir from another schema?): %w", rec.Seq, err)
+			}
+			s.win.Append(rec.Label, stmt)
+			if _, err := s.stream.Observe(context.Background(), stmt); err != nil {
+				return fmt.Errorf("advisord: replaying WAL record %d through the alerter: %w", rec.Seq, err)
+			}
+		}
+	}
+	s.recoveredReplay = len(tail)
+	if len(tail) > 0 || snap != nil {
+		st := s.store.Stats()
+		fmt.Fprintf(os.Stderr, "advisord: recovered %d statements in window (snapshot seq %d + %d replayed records, %d torn bytes truncated)\n",
+			s.win.Len(), s.recoveredSnapSeq, len(tail), st.TruncatedBytes)
+	}
+	return nil
 }
 
 // requestSolve schedules a re-solve; a pending request absorbs it (the
@@ -156,9 +298,20 @@ func (s *service) requestSolve(reason string) {
 	}
 }
 
+// requestSnapshot schedules a durable snapshot on the solver goroutine;
+// a pending request absorbs it.
+func (s *service) requestSnapshot() {
+	select {
+	case s.snapCh <- struct{}{}:
+	default:
+	}
+}
+
 // run is the solver loop; it exits when ctx is cancelled. Exactly one
 // run loop may be active — it is the single writer of the retained
-// solver state.
+// solver state, and the only goroutine that writes durable snapshots
+// while the service is serving (close() writes the final one after
+// this loop has exited, so the two can never overlap).
 func (s *service) run(ctx context.Context) {
 	for {
 		select {
@@ -168,8 +321,58 @@ func (s *service) run(ctx context.Context) {
 			if _, err := s.solveOnce(ctx, reason); err != nil && ctx.Err() == nil {
 				fmt.Fprintf(os.Stderr, "advisord: %s re-solve failed: %v\n", reason, err)
 			}
+		case respCh := <-s.forceCh:
+			rec, err := s.solveOnce(ctx, "forced")
+			respCh <- forcedSolve{rec: rec, err: err}
+		case <-s.snapCh:
+			s.writeDurableSnapshot()
 		}
 	}
+}
+
+// writeDurableSnapshot persists the current derived state. Must run on
+// the solver goroutine (or after it has exited): installed and lkg are
+// solver-owned. The window state and the WAL head are captured under
+// mu, so the pair is exactly consistent; the alerter folds in
+// statements slightly ahead of the window (ingest observes it after
+// releasing mu), which replay tolerates — drift detection is a
+// heuristic and re-observing a handful of tail statements only
+// advances its ring.
+func (s *service) writeDurableSnapshot() {
+	if s.store == nil {
+		return
+	}
+	s.mu.Lock()
+	winState := s.win.State()
+	seq := s.store.LastSeq()
+	alertState := s.stream.State()
+	s.mu.Unlock()
+	snap := &durable.Snapshot{
+		Seq:              seq,
+		Window:           winState,
+		Installed:        s.installed,
+		LastKnownGood:    s.lkg,
+		StatsFingerprint: s.adv.StatsFingerprint(),
+		Alerter:          &alertState,
+	}
+	if err := s.store.WriteSnapshot(snap); err != nil {
+		s.snapErrors.Add(1)
+		fmt.Fprintf(os.Stderr, "advisord: snapshot failed: %v\n", err)
+		return
+	}
+	s.sinceSnap.Store(0)
+}
+
+// close finishes the service after the solver loop has exited: it
+// writes a final durable snapshot and releases the data directory.
+// Callers must wait for run() to return first — that ordering is what
+// guarantees the final snapshot never races a publishing solve.
+func (s *service) close() error {
+	if s.store == nil {
+		return nil
+	}
+	s.writeDurableSnapshot()
+	return s.store.Close()
 }
 
 // solveOnce snapshots the window, re-solves it warm-started from the
@@ -177,10 +380,23 @@ func (s *service) run(ctx context.Context) {
 // publishes the new recommendation snapshot. It must only be called
 // from the solver goroutine (or a test standing in for it).
 func (s *service) solveOnce(ctx context.Context, reason string) (*advisor.Recommendation, error) {
+	if s.solveHook != nil {
+		s.solveHook(reason)
+	}
 	s.mu.Lock()
 	w := s.win.Snapshot()
 	seq := s.win.Seq()
-	if s.cfg.Tumbling {
+	if s.cfg.Tumbling && s.win.Len() > 0 {
+		// The epoch boundary is logged BEFORE the in-memory reset: if we
+		// die between the two, replay resets a window the service never
+		// emptied — the same window the next solve would have seen anyway
+		// — rather than resurrecting statements a solve already consumed.
+		if s.store != nil {
+			if _, err := s.store.AppendReset(); err != nil {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("logging window reset: %w", err)
+			}
+		}
 		s.win.Reset()
 	}
 	s.mu.Unlock()
@@ -231,6 +447,9 @@ func (s *service) solveOnce(ctx context.Context, reason string) (*advisor.Recomm
 	}
 	s.snap.Store(&snapshot{seq: seq, body: body})
 	s.resolves.Add(1)
+	// Persist the new design chain immediately: the installed config is
+	// the next solve's C0, so losing it would change every later answer.
+	s.writeDurableSnapshot()
 	s.publishGauges(rec, elapsed)
 	return rec, nil
 }
@@ -261,6 +480,7 @@ type ingestResponse struct {
 func (s *service) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/recommendation", s.handleRecommendation)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -278,14 +498,41 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // handleIngest validates the whole batch first (parse + what-if
 // costability), so a bad statement rejects the batch atomically, then
-// feeds each statement through the window and the drift alerter.
+// logs each statement to the WAL and feeds it through the window and
+// the drift alerter.
+//
+// Overload protection happens before any work: at most MaxInflight
+// requests are processed concurrently — when the WAL (fsync) or the
+// cost validation falls behind, excess requests are shed immediately
+// with 429 + Retry-After rather than queued, so a stalled disk bounds
+// memory instead of growing it. Bodies beyond MaxBody get 413.
 func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "ingest shedding load: %d requests already in flight", cap(s.inflight))
+			return
+		}
+	}
+	if s.cfg.MaxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	}
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.bodyTooLarge.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
 		return
 	}
@@ -315,7 +562,19 @@ func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	alerts := 0
 	for i, stmt := range stmts {
+		// WAL append and window append are one atomic step under mu:
+		// log order is window order, which is what makes snapshot +
+		// tail-replay reconstruct the exact ring. The statement is
+		// durable (fsync policy permitting) before the window — and
+		// therefore any solve — can see it.
 		s.mu.Lock()
+		if s.store != nil {
+			if _, err := s.store.AppendStatement(batch[i].Label, batch[i].SQL); err != nil {
+				s.mu.Unlock()
+				writeError(w, http.StatusInternalServerError, "wal: %v", err)
+				return
+			}
+		}
 		s.win.Append(batch[i].Label, stmt)
 		s.mu.Unlock()
 		alert, err := s.stream.Observe(r.Context(), stmt)
@@ -332,11 +591,51 @@ func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	winLen := s.win.Len()
 	s.mu.Unlock()
-	if s.snap.Load() == nil && winLen >= s.cfg.MinSolve {
+	if s.cfg.MinSolve >= 0 && s.snap.Load() == nil && winLen >= s.cfg.MinSolve {
 		s.requestSolve("initial")
+	}
+	if s.store != nil && s.cfg.SnapshotEvery > 0 &&
+		s.sinceSnap.Add(int64(len(stmts))) >= int64(s.cfg.SnapshotEvery) {
+		s.requestSnapshot()
 	}
 	s.publishIngestGauges()
 	writeJSON(w, http.StatusOK, ingestResponse{Ingested: len(stmts), Window: winLen, Alerts: alerts})
+}
+
+// handleSolve forces a synchronous re-solve: the request blocks until
+// the solver goroutine has solved the current window and published the
+// result, then returns that recommendation body. An empty window yields
+// 409. This is the deterministic solve point the crash harness drives —
+// and an operator's "recommend now" button.
+func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	respCh := make(chan forcedSolve, 1)
+	select {
+	case s.forceCh <- respCh:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "solver unavailable: %v", r.Context().Err())
+		return
+	}
+	select {
+	case res := <-respCh:
+		if res.err != nil {
+			writeError(w, http.StatusInternalServerError, "solve: %v", res.err)
+			return
+		}
+		if res.rec == nil {
+			writeError(w, http.StatusConflict, "window is empty; ingest statements first")
+			return
+		}
+		snap := s.snap.Load()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(snap.body)
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "solve abandoned: %v", r.Context().Err())
+	}
 }
 
 // handleRecommendation serves the last published snapshot verbatim. The
@@ -360,18 +659,41 @@ func (s *service) handleRecommendation(w http.ResponseWriter, r *http.Request) {
 // healthzResponse is the GET /healthz body; the smoke test asserts the
 // drift counters off it.
 type healthzResponse struct {
-	Status            string   `json:"status"`
-	Ingested          int64    `json:"ingested"`
-	Batches           int64    `json:"batches"`
-	Rejected          int64    `json:"rejected"`
-	WindowStatements  int      `json:"window_statements"`
-	WindowCapacity    int      `json:"window_capacity"`
-	WindowTotal       int64    `json:"window_total"`
-	DriftAlerts       int64    `json:"drift_alerts"`
-	Resolves          int64    `json:"resolves"`
-	SolveErrors       int64    `json:"solve_errors"`
-	HasRecommendation bool     `json:"has_recommendation"`
-	Memo              memoJSON `json:"memo"`
+	Status            string       `json:"status"`
+	Ingested          int64        `json:"ingested"`
+	Batches           int64        `json:"batches"`
+	Rejected          int64        `json:"rejected"`
+	Shed              int64        `json:"shed"`
+	BodyTooLarge      int64        `json:"body_too_large"`
+	WindowStatements  int          `json:"window_statements"`
+	WindowCapacity    int          `json:"window_capacity"`
+	WindowTotal       int64        `json:"window_total"`
+	DriftAlerts       int64        `json:"drift_alerts"`
+	Resolves          int64        `json:"resolves"`
+	SolveErrors       int64        `json:"solve_errors"`
+	HasRecommendation bool         `json:"has_recommendation"`
+	Memo              memoJSON     `json:"memo"`
+	Durable           *durableJSON `json:"durable,omitempty"`
+}
+
+// durableJSON reports the WAL, snapshot, and recovery state when the
+// service runs with a data directory. WindowTotal (above) doubles as
+// the resume cursor: a client that replays a trace after a crash skips
+// the first WindowTotal statements — everything durable — and resends
+// the rest.
+type durableJSON struct {
+	WALLastSeq        uint64 `json:"wal_last_seq"`
+	WALAppends        int64  `json:"wal_appends"`
+	WALFsyncs         int64  `json:"wal_fsyncs"`
+	WALSegments       int    `json:"wal_segments"`
+	Snapshots         int64  `json:"snapshots"`
+	SnapshotErrors    int64  `json:"snapshot_errors"`
+	LastSnapshotSeq   uint64 `json:"last_snapshot_seq"`
+	RecoverySnapSeq   uint64 `json:"recovery_snapshot_seq"`
+	RecoveryReplayed  int    `json:"recovery_replayed"`
+	RecoveryTruncated int64  `json:"recovery_truncated_bytes"`
+	RecoveryDiscarded int64  `json:"recovery_snapshots_discarded"`
+	WorldMismatch     bool   `json:"world_mismatch"`
 }
 
 type memoJSON struct {
@@ -391,11 +713,13 @@ func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	winLen, winCap, winTotal := s.win.Len(), s.win.Cap(), s.win.Total()
 	s.mu.Unlock()
 	ms := s.memo.Stats()
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:            "ok",
 		Ingested:          s.ingested.Load(),
 		Batches:           s.batches.Load(),
 		Rejected:          s.rejected.Load(),
+		Shed:              s.shed.Load(),
+		BodyTooLarge:      s.bodyTooLarge.Load(),
 		WindowStatements:  winLen,
 		WindowCapacity:    winCap,
 		WindowTotal:       winTotal,
@@ -410,7 +734,25 @@ func (s *service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Evictions:     ms.Evictions,
 			Invalidations: ms.Invalidations,
 		},
-	})
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Durable = &durableJSON{
+			WALLastSeq:        st.LastSeq,
+			WALAppends:        st.Appends,
+			WALFsyncs:         st.Fsyncs,
+			WALSegments:       st.Segments,
+			Snapshots:         st.Snapshots,
+			SnapshotErrors:    s.snapErrors.Load(),
+			LastSnapshotSeq:   st.LastSnapshotSeq,
+			RecoverySnapSeq:   s.recoveredSnapSeq,
+			RecoveryReplayed:  s.recoveredReplay,
+			RecoveryTruncated: st.TruncatedBytes,
+			RecoveryDiscarded: st.SnapshotsDiscarded,
+			WorldMismatch:     s.worldMismatch,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- Recommendation response -------------------------------------------
@@ -542,6 +884,52 @@ func (s *service) helpGauges() {
 	g.Help("advisord_memo_hit_rate", "Lifetime hit rate of the retained what-if memo.")
 	g.Help("advisord_memo_evictions_total", "Entries evicted from the capped what-if memo.")
 	g.Help("advisord_memo_invalidations_total", "Whole-memo purges caused by cost-world changes.")
+	g.Help("advisord_shed_total", "Ingest requests shed with 429 by the overload guard.")
+	g.Help("advisord_body_too_large_total", "Requests rejected with 413 for exceeding the body cap.")
+	g.Help("advisord_wal_appends_total", "Records appended to the write-ahead log this process.")
+	g.Help("advisord_wal_appended_bytes_total", "Bytes appended to the write-ahead log this process.")
+	g.Help("advisord_wal_fsyncs_total", "WAL and snapshot fsyncs issued this process.")
+	g.Help("advisord_wal_segments", "Current WAL segment file count.")
+	g.Help("advisord_snapshots_total", "Durable snapshots written this process.")
+	g.Help("advisord_snapshot_errors_total", "Durable snapshot writes that failed.")
+	g.Help("advisord_snapshot_last_seq", "WAL sequence folded into the newest durable snapshot.")
+	g.Help("advisord_recovery_replayed", "WAL records replayed into the window at startup.")
+	g.Help("advisord_recovery_truncated_bytes", "Torn-tail bytes truncated from the WAL at startup.")
+	g.Help("advisord_recovery_snapshot_seq", "WAL sequence of the snapshot recovery started from.")
+	g.Help("advisord_recovery_world_mismatch", "1 when recovery dropped cost-derived state because table statistics changed.")
+}
+
+// publishRecoveryGauges exports the startup recovery facts once.
+func (s *service) publishRecoveryGauges() {
+	g := s.cfg.Gauges
+	if g == nil || s.store == nil {
+		return
+	}
+	st := s.store.Stats()
+	g.Set("advisord_recovery_replayed", float64(s.recoveredReplay))
+	g.Set("advisord_recovery_truncated_bytes", float64(st.TruncatedBytes))
+	g.Set("advisord_recovery_snapshot_seq", float64(s.recoveredSnapSeq))
+	mismatch := 0.0
+	if s.worldMismatch {
+		mismatch = 1
+	}
+	g.Set("advisord_recovery_world_mismatch", mismatch)
+}
+
+// publishDurableGauges refreshes the WAL and snapshot counters.
+func (s *service) publishDurableGauges() {
+	g := s.cfg.Gauges
+	if g == nil || s.store == nil {
+		return
+	}
+	st := s.store.Stats()
+	g.Set("advisord_wal_appends_total", float64(st.Appends))
+	g.Set("advisord_wal_appended_bytes_total", float64(st.AppendedBytes))
+	g.Set("advisord_wal_fsyncs_total", float64(st.Fsyncs))
+	g.Set("advisord_wal_segments", float64(st.Segments))
+	g.Set("advisord_snapshots_total", float64(st.Snapshots))
+	g.Set("advisord_snapshot_errors_total", float64(s.snapErrors.Load()))
+	g.Set("advisord_snapshot_last_seq", float64(st.LastSnapshotSeq))
 }
 
 func (s *service) publishIngestGauges() {
@@ -555,6 +943,9 @@ func (s *service) publishIngestGauges() {
 	g.Set("advisord_ingested_total", float64(s.ingested.Load()))
 	g.Set("advisord_window_statements", float64(winLen))
 	g.Set("advisord_drift_alerts_total", float64(s.driftAlerts.Load()))
+	g.Set("advisord_shed_total", float64(s.shed.Load()))
+	g.Set("advisord_body_too_large_total", float64(s.bodyTooLarge.Load()))
+	s.publishDurableGauges()
 }
 
 func (s *service) publishGauges(rec *advisor.Recommendation, elapsed time.Duration) {
@@ -573,4 +964,5 @@ func (s *service) publishGauges(rec *advisor.Recommendation, elapsed time.Durati
 	g.Set("advisord_memo_hit_rate", ms.HitRate())
 	g.Set("advisord_memo_evictions_total", float64(ms.Evictions))
 	g.Set("advisord_memo_invalidations_total", float64(ms.Invalidations))
+	s.publishDurableGauges()
 }

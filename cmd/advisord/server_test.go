@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"dyndesign/internal/alerter"
 	"dyndesign/internal/candidates"
 	"dyndesign/internal/core"
+	"dyndesign/internal/durable"
 	"dyndesign/internal/experiments"
 	"dyndesign/internal/workload"
 )
@@ -107,6 +110,11 @@ func getHealthz(t *testing.T, client *http.Client, url string) healthzResponse {
 // forced at least one re-solve and that GET /recommendation parses.
 func TestAdvisordSmoke(t *testing.T) {
 	adv := testAdvisor(t)
+	dataDir := t.TempDir()
+	store, err := durable.Open(dataDir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	svc, err := newService(adv, serviceConfig{
 		WindowCap:   100,
 		MinSolve:    40,
@@ -115,6 +123,7 @@ func TestAdvisordSmoke(t *testing.T) {
 		Timeout:     30 * time.Second,
 		Fallback:    true,
 		Explain:     true,
+		Store:       store,
 		Alerter:     alerter.Options{WindowSize: 60, CheckEvery: 20},
 	})
 	if err != nil {
@@ -220,6 +229,30 @@ func TestAdvisordSmoke(t *testing.T) {
 	case <-solverDone:
 	case <-time.After(5 * time.Second):
 		t.Fatal("solver goroutine did not exit on cancel")
+	}
+
+	// Teardown must release the data dir completely: the LOCK file is
+	// gone and a fresh store can open (and recover) the directory — the
+	// check that catches leaked lock files in CI.
+	if err := svc.close(); err != nil {
+		t.Fatalf("closing service: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "LOCK")); !os.IsNotExist(err) {
+		t.Fatalf("LOCK file leaked after shutdown: %v", err)
+	}
+	reopened, err := durable.Open(dataDir, durable.Options{})
+	if err != nil {
+		t.Fatalf("data dir not reopenable after shutdown: %v", err)
+	}
+	snap, _, err := reopened.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || len(snap.Window.Statements) == 0 {
+		t.Fatalf("final snapshot missing or empty: %+v", snap)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -187,6 +187,14 @@ func New(db *engine.Database, space DesignSpace) (*Advisor, error) {
 // Space returns the advisor's design space.
 func (a *Advisor) Space() *DesignSpace { return &a.space }
 
+// StatsFingerprint returns the content hash of the tuned table's
+// statistics — the cost-world epoch under which every what-if estimate
+// is computed. Durable advisor state (installed design, last-known-good
+// solution, drift-detector costs) records it at snapshot time: a
+// restart whose statistics hash differently must treat cost-derived
+// state as stale instead of replaying estimates from a dead world.
+func (a *Advisor) StatsFingerprint() uint64 { return a.table.Stats.Fingerprint() }
+
 // StatementCost returns the what-if cost of one statement under a
 // configuration of the design space — the EXEC(S, C) primitive, exposed
 // for monitoring tools like the drift alerter.

@@ -139,6 +139,95 @@ func (a *Alerter) SetCurrent(c core.Config) error {
 // Observed returns how many statements the alerter has seen.
 func (a *Alerter) Observed() int { return a.observed }
 
+// State is the serializable drift-detector state: the cost ring, its
+// running sums, and the counters that govern check cadence and
+// cooldown. It captures everything Observe mutates, so a restored
+// alerter continues the stream exactly where the original stopped —
+// same alerts at the same statements. Configs and WindowSize pin the
+// shape the state was captured under; RestoreState rejects a state
+// whose shape no longer matches instead of replaying costs into the
+// wrong slots.
+type State struct {
+	Configs    []core.Config `json:"configs"`
+	Current    core.Config   `json:"current"`
+	WindowSize int           `json:"window_size"`
+	Observed   int           `json:"observed"`
+	LastFire   int           `json:"last_fire"`
+	Pos        int           `json:"pos"`
+	Filled     int           `json:"filled"`
+	Ring       [][]float64   `json:"ring"`
+	Sums       []float64     `json:"sums"`
+}
+
+// State serializes the alerter's mutable state. The result shares no
+// storage with the alerter.
+func (a *Alerter) State() State {
+	st := State{
+		Configs:    append([]core.Config(nil), a.configs...),
+		Current:    a.current,
+		WindowSize: a.opts.WindowSize,
+		Observed:   a.observed,
+		LastFire:   a.lastFire,
+		Pos:        a.pos,
+		Filled:     a.filled,
+		Ring:       make([][]float64, len(a.ring)),
+		Sums:       append([]float64(nil), a.sums...),
+	}
+	for i, slot := range a.ring {
+		st.Ring[i] = append([]float64(nil), slot...)
+	}
+	return st
+}
+
+// RestoreState replaces the alerter's mutable state with a serialized
+// one. It fails — leaving the alerter unchanged — when the state was
+// captured under a different shape: another candidate list, window
+// size, or ring geometry. Callers treat that as "start cold", not as a
+// fatal error; drift detection simply warms up again.
+func (a *Alerter) RestoreState(st State) error {
+	if len(st.Configs) != len(a.configs) {
+		return fmt.Errorf("alerter: state has %d candidate configurations, alerter has %d", len(st.Configs), len(a.configs))
+	}
+	for i, c := range st.Configs {
+		if c != a.configs[i] {
+			return fmt.Errorf("alerter: state candidate %d is %d, alerter has %d", i, c, a.configs[i])
+		}
+	}
+	if st.WindowSize != a.opts.WindowSize {
+		return fmt.Errorf("alerter: state window size %d, alerter has %d", st.WindowSize, a.opts.WindowSize)
+	}
+	if len(st.Ring) != a.opts.WindowSize || len(st.Sums) != len(a.configs) {
+		return fmt.Errorf("alerter: state ring %dx%d does not fit window %d over %d candidates",
+			len(st.Ring), len(st.Sums), a.opts.WindowSize, len(a.configs))
+	}
+	if st.Pos < 0 || st.Pos >= a.opts.WindowSize || st.Filled < 0 || st.Filled > a.opts.WindowSize {
+		return fmt.Errorf("alerter: state position %d/fill %d outside window %d", st.Pos, st.Filled, a.opts.WindowSize)
+	}
+	hasCurrent := false
+	for _, c := range a.configs {
+		if c == st.Current {
+			hasCurrent = true
+			break
+		}
+	}
+	if !hasCurrent {
+		return fmt.Errorf("alerter: state's current configuration not among the candidates")
+	}
+	for i, slot := range st.Ring {
+		if len(slot) != len(a.configs) {
+			return fmt.Errorf("alerter: state ring slot %d has %d costs, want %d", i, len(slot), len(a.configs))
+		}
+		copy(a.ring[i], slot)
+	}
+	copy(a.sums, st.Sums)
+	a.current = st.Current
+	a.observed = st.Observed
+	a.lastFire = st.LastFire
+	a.pos = st.Pos
+	a.filled = st.Filled
+	return nil
+}
+
 // Observe feeds one statement. It returns a non-nil Alert when the
 // window check fires.
 func (a *Alerter) Observe(s workload.Statement) (*Alert, error) {

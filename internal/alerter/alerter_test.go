@@ -1,6 +1,7 @@
 package alerter
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -162,5 +163,123 @@ func TestAlerterValidation(t *testing.T) {
 	}
 	if a.Current() != 0 {
 		t.Error("failed SetCurrent changed the config")
+	}
+}
+
+// TestAlerterStateRoundTrip is the durability contract: serialize the
+// alerter mid-stream (through JSON, the way a snapshot stores it),
+// restore into a fresh alerter, and drive both over the identical
+// continuation — the restored one must raise the same alerts at the
+// same statements.
+func TestAlerterStateRoundTrip(t *testing.T) {
+	adv, configs := fixture(t)
+	mixes := workload.PaperMixes(testRows)
+	opts := Options{WindowSize: 150, CheckEvery: 15, Threshold: 0.2}
+	current := core.ConfigOf(4) // I(a,b)
+	orig, err := New(adv, configs, current, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the window on mix A, then shift to mix C and stop mid-drift,
+	// before the alert has fired.
+	rng := rand.New(rand.NewSource(11))
+	if alert := feed(t, orig, mixes["A"], rng, 200); alert != nil {
+		t.Fatalf("false alert during warmup: %+v", alert)
+	}
+	preDrift, err := mixes["C"].Generate(rng, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range preDrift {
+		if alert, err := orig.Observe(s); err != nil {
+			t.Fatal(err)
+		} else if alert != nil {
+			t.Fatalf("alert fired before the serialization point: %+v", alert)
+		}
+	}
+
+	// JSON round-trip, exactly like the durable snapshot stores it
+	// (float64 survives encoding/json bit-exactly).
+	buf, err := json.Marshal(orig.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(buf, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(adv, configs, core.Config(0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Current() != current || restored.Observed() != orig.Observed() {
+		t.Fatalf("restored current %v observed %d, want %v %d",
+			restored.Current(), restored.Observed(), current, orig.Observed())
+	}
+
+	// Identical continuation streams: both alerters must agree on every
+	// alert, statement by statement.
+	cont, err := mixes["C"].Generate(rng, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i, s := range cont {
+		a1, err := orig.Observe(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := restored.Observe(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (a1 == nil) != (a2 == nil) {
+			t.Fatalf("statement %d: original alert %+v, restored alert %+v", i, a1, a2)
+		}
+		if a1 != nil {
+			fired++
+			if a1.AtStatement != a2.AtStatement || a1.Current != a2.Current ||
+				a1.Best != a2.Best || a1.BestConfig != a2.BestConfig {
+				t.Fatalf("statement %d: alerts diverge:\noriginal: %+v\nrestored: %+v", i, a1, a2)
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("continuation stream never fired; the round-trip proved nothing")
+	}
+}
+
+// TestAlerterRestoreShapeMismatch pins the reject-don't-corrupt
+// contract: a state captured under a different shape fails cleanly.
+func TestAlerterRestoreShapeMismatch(t *testing.T) {
+	adv, configs := fixture(t)
+	opts := Options{WindowSize: 50, CheckEvery: 10}
+	a, err := New(adv, configs, core.Config(0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := a.State()
+
+	wrongWindow, err := New(adv, configs, core.Config(0), Options{WindowSize: 60, CheckEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongWindow.RestoreState(good); err == nil {
+		t.Fatal("restore across window sizes succeeded")
+	}
+	wrongConfigs, err := New(adv, configs[:len(configs)-1], core.Config(0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongConfigs.RestoreState(good); err == nil {
+		t.Fatal("restore across candidate lists succeeded")
+	}
+	bad := good
+	bad.Current = core.ConfigOf(62) // not a candidate
+	if err := a.RestoreState(bad); err == nil {
+		t.Fatal("restore with a foreign current configuration succeeded")
 	}
 }

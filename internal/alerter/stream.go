@@ -64,3 +64,19 @@ func (s *Stream) Observed() int {
 	defer s.mu.Unlock()
 	return s.a.Observed()
 }
+
+// State serializes the underlying alerter's drift-detector state,
+// serialized against concurrent producers.
+func (s *Stream) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.State()
+}
+
+// RestoreState replaces the underlying alerter's state (see
+// Alerter.RestoreState), serialized against concurrent producers.
+func (s *Stream) RestoreState(st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.a.RestoreState(st)
+}

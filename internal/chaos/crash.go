@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Process crash points extend the in-process fault injection of Model
+// to whole-process kill/restart chaos: a cooperating binary calls
+// MaybeCrash at named sites on its durability-critical paths (half a
+// WAL frame written, a snapshot temp file not yet renamed, ...), and a
+// harness selects ONE site occurrence per run through the environment.
+// When the selected occurrence is reached the process SIGKILLs itself —
+// no deferred functions, no flushes — which is exactly the failure the
+// write-ahead log and snapshot formats must survive.
+//
+// The spec lives in the CrashEnv environment variable as "site:n"
+// (crash at the n-th hit of site, 1-based) or "site" (n = 1), e.g.
+//
+//	CHAOS_CRASHPOINT=wal.append.mid:17 advisord -data-dir d ...
+//
+// Unset means every MaybeCrash call is a no-op costing one atomic load,
+// so production binaries can leave the sites compiled in.
+
+// CrashEnv is the environment variable naming the crash point.
+const CrashEnv = "CHAOS_CRASHPOINT"
+
+// crashPlan is the parsed spec plus the kill function (replaceable by
+// tests; the real one SIGKILLs the current process).
+type crashPlan struct {
+	site string
+	n    int64
+	kill func()
+
+	mu   sync.Mutex
+	hits map[string]int64
+}
+
+var (
+	planOnce sync.Once
+	plan     *crashPlan // nil when CrashEnv is unset or malformed
+)
+
+// parseCrashSpec splits "site:n" (n defaults to 1, must be >= 1).
+func parseCrashSpec(spec string) (string, int64, error) {
+	site, ns, found := strings.Cut(spec, ":")
+	if site == "" {
+		return "", 0, fmt.Errorf("chaos: empty crash site in %q", spec)
+	}
+	if !found {
+		return site, 1, nil
+	}
+	n, err := strconv.ParseInt(ns, 10, 64)
+	if err != nil || n < 1 {
+		return "", 0, fmt.Errorf("chaos: bad crash occurrence in %q (want site:n, n >= 1)", spec)
+	}
+	return site, n, nil
+}
+
+// newCrashPlan builds a plan from a spec string, or nil for "".
+func newCrashPlan(spec string, kill func()) (*crashPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	site, n, err := parseCrashSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &crashPlan{site: site, n: n, kill: kill, hits: make(map[string]int64)}, nil
+}
+
+// hit records one occurrence of site and fires the kill when it is the
+// selected one.
+func (p *crashPlan) hit(site string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.hits[site]++
+	fire := site == p.site && p.hits[site] == p.n
+	p.mu.Unlock()
+	if fire {
+		p.kill()
+	}
+}
+
+// selfKill is the real crash: SIGKILL to our own pid, the closest
+// userspace analogue of a power cut — no deferred cleanup, no buffered
+// writes flushed. The Exit fallback covers platforms where the signal
+// is not deliverable.
+func selfKill() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	os.Exit(137)
+}
+
+// MaybeCrash records one occurrence of the named site and SIGKILLs the
+// process when the environment selected it. Malformed specs are
+// reported once on stderr and then ignored — a chaos harness typo must
+// not turn into silent no-crash runs without a trace.
+func MaybeCrash(site string) {
+	planOnce.Do(func() {
+		p, err := newCrashPlan(os.Getenv(CrashEnv), selfKill)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v (ignoring %s)\n", err, CrashEnv)
+			return
+		}
+		plan = p
+	})
+	plan.hit(site)
+}

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCrashSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		site string
+		n    int64
+		bad  bool
+	}{
+		{spec: "wal.append.mid", site: "wal.append.mid", n: 1},
+		{spec: "wal.append.mid:17", site: "wal.append.mid", n: 17},
+		{spec: "snapshot.rename:1", site: "snapshot.rename", n: 1},
+		{spec: ":3", bad: true},
+		{spec: "site:", bad: true},
+		{spec: "site:0", bad: true},
+		{spec: "site:-2", bad: true},
+		{spec: "site:x", bad: true},
+	} {
+		site, n, err := parseCrashSpec(tc.spec)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("parseCrashSpec(%q): expected error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCrashSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if site != tc.site || n != tc.n {
+			t.Errorf("parseCrashSpec(%q) = (%q, %d), want (%q, %d)", tc.spec, site, n, tc.site, tc.n)
+		}
+	}
+}
+
+func TestCrashPlanFiresAtSelectedOccurrence(t *testing.T) {
+	fired := 0
+	p, err := newCrashPlan("wal.append.mid:3", func() { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Other sites never fire, the selected site fires exactly at its
+	// third occurrence and never again.
+	for i := 0; i < 10; i++ {
+		p.hit("snapshot.rename")
+		p.hit("wal.append.mid")
+		switch {
+		case i < 2 && fired != 0:
+			t.Fatalf("fired after %d hits", i+1)
+		case i >= 2 && fired != 1:
+			t.Fatalf("fired %d times after %d hits", fired, i+1)
+		}
+	}
+}
+
+func TestCrashPlanNilIsNoop(t *testing.T) {
+	p, err := newCrashPlan("", func() { t.Fatal("fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatal("empty spec should yield a nil plan")
+	}
+	p.hit("anything") // nil receiver must be safe: the production path
+}
+
+func TestCrashPlanBadSpecError(t *testing.T) {
+	if _, err := newCrashPlan("site:nope", func() {}); err == nil || !strings.Contains(err.Error(), "bad crash occurrence") {
+		t.Fatalf("expected parse error, got %v", err)
+	}
+}

@@ -77,6 +77,77 @@ func (w *Window) Total() int64 { return w.total }
 // recommendation is stale relative to ingestion.
 func (w *Window) Seq() uint64 { return w.seq }
 
+// WindowStatement is one statement of a serialized window: the SQL
+// text plus its mix label. The parse is not serialized — RestoreState
+// re-parses, which also revalidates text that crossed a process
+// boundary.
+type WindowStatement struct {
+	Label string `json:"label,omitempty"`
+	SQL   string `json:"sql"`
+}
+
+// WindowState is the serializable content of a Window: everything a
+// restarted process needs to continue the stream exactly where the
+// ring left off. Statements are oldest first.
+type WindowState struct {
+	Name       string            `json:"name"`
+	Cap        int               `json:"cap"`
+	Total      int64             `json:"total"`
+	Seq        uint64            `json:"seq"`
+	Statements []WindowStatement `json:"statements"`
+}
+
+// State serializes the window: ring contents oldest first plus the
+// Total and Seq counters. The result shares no storage with the ring.
+func (w *Window) State() WindowState {
+	st := WindowState{
+		Name:       w.name,
+		Cap:        w.cap,
+		Total:      w.total,
+		Seq:        w.seq,
+		Statements: make([]WindowStatement, w.n),
+	}
+	for i := 0; i < w.n; i++ {
+		pos := (w.start + i) % w.cap
+		st.Statements[i] = WindowStatement{Label: w.labels[pos], SQL: w.stmts[pos].SQL}
+	}
+	return st
+}
+
+// RestoreState replaces the window contents with a serialized state,
+// re-parsing every statement. The receiver keeps its own capacity: if
+// the state holds more statements than fit (the operator shrank the
+// window across a restart), only the newest Cap survive — the same
+// statements a live ring of this capacity would have retained. Total
+// and Seq are restored so staleness accounting continues across the
+// restart. On a parse error the window is left unchanged.
+func (w *Window) RestoreState(st WindowState) error {
+	stmts := st.Statements
+	if len(stmts) > w.cap {
+		stmts = stmts[len(stmts)-w.cap:]
+	}
+	parsed := make([]Statement, len(stmts))
+	for i, ws := range stmts {
+		s, err := NewStatement(ws.SQL)
+		if err != nil {
+			return fmt.Errorf("workload: restoring window statement %d (%q): %w", i, ws.SQL, err)
+		}
+		parsed[i] = s
+	}
+	for i := range w.stmts {
+		w.stmts[i] = Statement{}
+		w.labels[i] = ""
+	}
+	w.start, w.n = 0, len(parsed)
+	for i, s := range parsed {
+		w.stmts[i] = s
+		w.labels[i] = stmts[i].Label
+	}
+	w.total = st.Total
+	w.seq = st.Seq
+	return nil
+}
+
 // Snapshot copies the window contents, oldest first, into a fresh
 // Workload. The returned workload shares no storage with the ring, so
 // it stays valid while ingestion continues.

@@ -131,3 +131,143 @@ func TestWindowSnapshotSegmentsLikeWorkload(t *testing.T) {
 		}
 	}
 }
+
+// stateEqualSnapshot asserts that a restored window snapshots
+// byte-identically (name@seq, statements, labels) to the original.
+func stateEqualSnapshot(t *testing.T, orig, restored *Window) {
+	t.Helper()
+	a, b := orig.Snapshot(), restored.Snapshot()
+	if a.Name != b.Name {
+		t.Fatalf("restored snapshot name %q, want %q", b.Name, a.Name)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("restored Len %d, want %d", b.Len(), a.Len())
+	}
+	for i := range a.Statements {
+		if a.Statements[i].SQL != b.Statements[i].SQL || a.Labels[i] != b.Labels[i] {
+			t.Fatalf("restored statement %d = (%q, %q), want (%q, %q)",
+				i, b.Statements[i].SQL, b.Labels[i], a.Statements[i].SQL, a.Labels[i])
+		}
+	}
+	if orig.Total() != restored.Total() || orig.Seq() != restored.Seq() {
+		t.Fatalf("restored counters (total %d, seq %d), want (%d, %d)",
+			restored.Total(), restored.Seq(), orig.Total(), orig.Seq())
+	}
+}
+
+func TestWindowStateRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		appends int
+		cap     int
+	}{
+		{"partial-fill", 3, 8},
+		{"exactly-full", 8, 8},
+		{"wrapped-ring", 21, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := NewWindow("live", tc.cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < tc.appends; i++ {
+				w.Append(fmt.Sprintf("L%d", i%3), wstmt(t, i))
+			}
+			r, err := NewWindow("live", tc.cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.RestoreState(w.State()); err != nil {
+				t.Fatal(err)
+			}
+			stateEqualSnapshot(t, w, r)
+			// The restored ring keeps sliding exactly like the original.
+			w.Append("tail", wstmt(t, 99))
+			r.Append("tail", wstmt(t, 99))
+			stateEqualSnapshot(t, w, r)
+		})
+	}
+}
+
+// TestWindowStateRoundTripTumbling covers the Reset-mid-stream shape: a
+// tumbling window reset at an epoch boundary, partially refilled, then
+// serialized. The restored window must carry the post-reset contents
+// and the counters that kept counting across the reset.
+func TestWindowStateRoundTripTumbling(t *testing.T) {
+	w, err := NewWindow("epoch", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		w.Append("pre", wstmt(t, i))
+	}
+	w.Reset()
+	for i := 7; i < 9; i++ {
+		w.Append("post", wstmt(t, i))
+	}
+	r, err := NewWindow("epoch", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreState(w.State()); err != nil {
+		t.Fatal(err)
+	}
+	stateEqualSnapshot(t, w, r)
+	if r.Len() != 2 || r.Total() != 9 {
+		t.Fatalf("restored tumbling window Len %d Total %d, want 2 and 9", r.Len(), r.Total())
+	}
+	// A reset after restore behaves like a live epoch boundary.
+	w.Reset()
+	r.Reset()
+	w.Append("next", wstmt(t, 10))
+	r.Append("next", wstmt(t, 10))
+	stateEqualSnapshot(t, w, r)
+}
+
+// TestWindowRestoreShrunkCapacity pins the resize rule: restoring into
+// a smaller ring keeps the newest statements, exactly what a live ring
+// of that capacity would hold.
+func TestWindowRestoreShrunkCapacity(t *testing.T) {
+	w, err := NewWindow("w", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		w.Append(fmt.Sprintf("L%d", i), wstmt(t, i))
+	}
+	small, err := NewWindow("w", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.RestoreState(w.State()); err != nil {
+		t.Fatal(err)
+	}
+	snap := small.Snapshot()
+	if snap.Len() != 3 {
+		t.Fatalf("shrunk restore Len %d, want 3", snap.Len())
+	}
+	for i, want := range []int{3, 4, 5} {
+		if wantSQL := fmt.Sprintf("SELECT a FROM t WHERE a = %d", want); snap.Statements[i].SQL != wantSQL {
+			t.Fatalf("shrunk restore [%d] = %q, want %q", i, snap.Statements[i].SQL, wantSQL)
+		}
+	}
+}
+
+// TestWindowRestoreParseFailureLeavesWindowUnchanged pins the error
+// contract: a corrupt statement aborts the restore without touching the
+// receiver.
+func TestWindowRestoreParseFailureLeavesWindowUnchanged(t *testing.T) {
+	w, err := NewWindow("w", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append("keep", wstmt(t, 1))
+	bad := WindowState{Name: "w", Cap: 4, Total: 2, Seq: 2,
+		Statements: []WindowStatement{{SQL: "SELECT a FROM t WHERE a = 1"}, {SQL: "NOT ( SQL"}}}
+	if err := w.RestoreState(bad); err == nil {
+		t.Fatal("restore of unparsable statement succeeded")
+	}
+	if snap := w.Snapshot(); snap.Len() != 1 || snap.Labels[0] != "keep" {
+		t.Fatalf("failed restore mutated the window: %+v", snap)
+	}
+}
