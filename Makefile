@@ -52,13 +52,17 @@ cover-check:
 chaos:
 	$(GO) test -race -run TestResilientSolveUnderChaos -v ./internal/chaos/
 
-# fuzz-smoke runs the kernel-equivalence fuzzer briefly: random
+# fuzz-smoke runs the solver fuzzers briefly (one go test run per
+# fuzzer — the tool accepts a single -fuzz pattern at a time): random
 # problems solved with both the dense and hypercube transition kernels
-# must agree on feasibility and cost (see internal/core/kernel_test.go).
-# CI runs this as a smoke test; longer local campaigns just raise
-# -fuzztime.
+# must agree on feasibility and cost (kernel_test.go), and the
+# partitioned solver must stay within its reported optimality gap of
+# the monolithic exact solve — bit-identical when the gap is zero
+# (partition_test.go). CI runs this as a smoke test; longer local
+# campaigns just raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=20s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzPartitionEquivalence -fuzztime=20s ./internal/core/
 
 # explain-smoke drives the decision-provenance layer end to end on a
 # tiny phase-structured trace: a 20-statement A/C plan, a k=2 solve

@@ -779,6 +779,10 @@ type recResponse struct {
 	ExecCost  float64 `json:"exec_cost"`
 	TransCost float64 `json:"trans_cost"`
 	Changes   int     `json:"changes"`
+	// Gap is the anytime optimality gap: 0 when the answering solver
+	// was exact, positive when a beam-pruned partitioned solve stopped
+	// early (the optimum is then within [cost-gap, cost]).
+	Gap float64 `json:"gap"`
 
 	Designs []designRun `json:"designs"`
 	Steps   []stepJSON  `json:"steps"`
@@ -839,6 +843,7 @@ func buildResponse(rec *advisor.Recommendation, expl *explain.Explanation, reaso
 		ExecCost:    rec.Solution.ExecCost,
 		TransCost:   rec.Solution.TransCost,
 		Changes:     rec.Solution.Changes,
+		Gap:         rec.Gap,
 		Stats: solveStatsJSON{
 			WhatIfCalls:  rec.Stats.WhatIfCalls,
 			MemoHitRate:  rec.Stats.HitRate(),
@@ -880,6 +885,7 @@ func (s *service) helpGauges() {
 	g.Help("advisord_solve_errors_total", "Window re-solves that failed.")
 	g.Help("advisord_solve_seconds", "Wall-clock duration of the last re-solve.")
 	g.Help("advisord_solve_cost", "Objective cost of the last published recommendation.")
+	g.Help("advisord_solve_gap", "Anytime optimality gap of the last recommendation (0 = proven optimal).")
 	g.Help("advisord_memo_entries", "Current occupancy of the retained what-if memo.")
 	g.Help("advisord_memo_hit_rate", "Lifetime hit rate of the retained what-if memo.")
 	g.Help("advisord_memo_evictions_total", "Entries evicted from the capped what-if memo.")
@@ -958,6 +964,7 @@ func (s *service) publishGauges(rec *advisor.Recommendation, elapsed time.Durati
 	g.Set("advisord_solve_seconds", elapsed.Seconds())
 	if rec != nil && rec.Solution != nil {
 		g.Set("advisord_solve_cost", rec.Solution.Cost)
+		g.Set("advisord_solve_gap", rec.Gap)
 	}
 	ms := s.memo.Stats()
 	g.Set("advisord_memo_entries", float64(ms.Entries))

@@ -72,6 +72,10 @@ type Cell struct {
 	// bug, not a perf regression, and fails -check regardless of time.
 	Cost    float64 `json:"cost"`
 	Changes int     `json:"changes"`
+	// Gap is the partitioned cells' reported anytime optimality gap:
+	// pinned to exactly 0 at generation time for factorable cells, and
+	// verified against the monolithic exact solve for beam cells.
+	Gap float64 `json:"gap"`
 }
 
 // key identifies a cell across reports.
@@ -171,6 +175,40 @@ var latticeCells = []struct {
 	{kawareHyper, 10},
 }
 
+// partitionedFactor and partitionedBeam are the partitioned solver's
+// grid variants: a factorable model (one interaction clique per
+// structure) recombined exactly, and the same costs declared as one
+// spanning clique with the anytime beam forced. The factorable cells
+// carry a hard gap==0 pin — a non-zero gap fails report generation,
+// not just the regression compare — and the beam cells are verified
+// against the monolithic exact solve: cost within the reported gap.
+const (
+	partitionedFactor core.Strategy = "partitioned+factor"
+	partitionedBeam   core.Strategy = "partitioned+beam"
+)
+
+// partitionCells: structs index structures, m = 2^structs candidate
+// configurations (128 and 512, both beyond the grid's dense m axis).
+// Factorable cells use 4 phases and k ≥ 4: every component's design
+// changes land on the 3 shared phase boundaries, so the synchronized
+// full-budget composition fits k and recombination is provably optimal
+// — the regime the hard gap==0 pin asserts. (A k below the boundary
+// count would make a positive gap the *correct* answer, which is the
+// beam cells' territory.) Beam cells run the 6-phase model at k=2,
+// where budget pressure is real: their pin is the sandwich against the
+// dense exact solve, which stays affordable at these sizes.
+var partitionCells = []struct {
+	strat   core.Strategy
+	structs int
+	phases  int
+	ks      []int
+}{
+	{partitionedFactor, 7, 4, []int{4, 8}},
+	{partitionedFactor, 9, 4, []int{4, 8}},
+	{partitionedBeam, 7, 6, []int{2}},
+	{partitionedBeam, 9, 6, []int{2}},
+}
+
 // solveCell dispatches one grid solve.
 func solveCell(ctx context.Context, p *core.Problem, strat core.Strategy) (*core.Solution, error) {
 	if strat == rankingPruned {
@@ -222,6 +260,17 @@ func runGrid(benchtime string) (*Report, error) {
 			rep.Cells = append(rep.Cells, cell)
 			fmt.Fprintf(os.Stderr, "  %-32s %12.0f ns/op %8d allocs/op\n",
 				cell.key(), cell.NsPerOp, cell.AllocsPerOp)
+		}
+	}
+	for _, pc := range partitionCells {
+		for _, k := range pc.ks {
+			cell, err := runPartitionCell(ctx, pc.strat, 64, pc.structs, pc.phases, k)
+			if err != nil {
+				return nil, fmt.Errorf("cell %s/structs=%d/k=%d: %w", pc.strat, pc.structs, k, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(os.Stderr, "  %-32s %12.0f ns/op %8d allocs/op  gap %.3f\n",
+				cell.key(), cell.NsPerOp, cell.AllocsPerOp, cell.Gap)
 		}
 	}
 	if err := checkKernelPins(rep.Cells); err != nil {
@@ -292,7 +341,7 @@ func runLatticeCell(ctx context.Context, strat core.Strategy, n, structs, k int)
 	if calls > 0 {
 		cell.CacheHitRate = float64(hits) / float64(calls)
 	}
-	res := testing.Benchmark(func(b *testing.B) {
+	cell.NsPerOp, cell.AllocsPerOp, cell.BytesPerOp = measure(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Solve(ctx, p, core.StrategyKAware); err != nil {
@@ -300,9 +349,78 @@ func runLatticeCell(ctx context.Context, strat core.Strategy, n, structs, k int)
 			}
 		}
 	})
-	cell.NsPerOp = float64(res.NsPerOp())
-	cell.AllocsPerOp = res.AllocsPerOp()
-	cell.BytesPerOp = res.AllocedBytesPerOp()
+	return cell, nil
+}
+
+// runPartitionCell measures one partitioned-solver grid point over the
+// full 2^structs lattice, enforcing the correctness pins at generation
+// time: factorable cells must report exactly gap 0, beam cells must
+// land within their reported gap of the monolithic exact optimum.
+func runPartitionCell(ctx context.Context, strat core.Strategy, n, structs, phases, k int) (Cell, error) {
+	factorable := strat == partitionedFactor
+	model := newGroupedBenchModel(n, structs, phases, factorable)
+	p := &core.Problem{
+		Stages:  n,
+		Configs: model.latticeConfigs(),
+		K:       k,
+		Policy:  core.FreeEndpoints,
+		Model:   model,
+	}
+	// BeamWidth 128 keeps the widening schedule (64, 128) short enough
+	// for a CI cell while still exercising the anytime merge.
+	opts := core.PartitionOptions{}
+	if !factorable {
+		opts.ForceBeam = true
+		opts.BeamWidth = 128
+	}
+	ps, err := core.SolvePartitionedOpts(ctx, p, opts)
+	if err != nil {
+		return Cell{}, err
+	}
+	if factorable {
+		if !ps.Factored {
+			return Cell{}, fmt.Errorf("factorable cell did not factor (components=%d)", ps.Components)
+		}
+		if ps.Gap != 0 {
+			return Cell{}, fmt.Errorf("factorable cell reported gap %v, want exactly 0", ps.Gap)
+		}
+	} else {
+		exactP := *p
+		exact, err := core.Solve(ctx, &exactP, core.StrategyKAware)
+		if err != nil {
+			return Cell{}, fmt.Errorf("exact verification solve: %w", err)
+		}
+		const tol = 1e-6
+		if ps.Cost < exact.Cost-tol {
+			return Cell{}, fmt.Errorf("beam cost %v beats the exact optimum %v", ps.Cost, exact.Cost)
+		}
+		if ps.Cost-ps.Gap > exact.Cost+tol {
+			return Cell{}, fmt.Errorf("beam bound not admissible: cost %v − gap %v > optimum %v",
+				ps.Cost, ps.Gap, exact.Cost)
+		}
+	}
+	calls, hits := model.stats()
+	cell := Cell{
+		Strategy:    string(strat),
+		N:           n,
+		M:           len(p.Configs),
+		K:           k,
+		WhatIfCalls: calls,
+		Cost:        ps.Cost,
+		Changes:     ps.Changes,
+		Gap:         ps.Gap,
+	}
+	if calls > 0 {
+		cell.CacheHitRate = float64(hits) / float64(calls)
+	}
+	cell.NsPerOp, cell.AllocsPerOp, cell.BytesPerOp = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolvePartitionedOpts(ctx, p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	return cell, nil
 }
 
@@ -347,7 +465,7 @@ func runCell(ctx context.Context, strat core.Strategy, n, m, k int) (Cell, error
 	if calls > 0 {
 		cell.CacheHitRate = float64(hits) / float64(calls)
 	}
-	res := testing.Benchmark(func(b *testing.B) {
+	cell.NsPerOp, cell.AllocsPerOp, cell.BytesPerOp = measure(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := solveCell(ctx, p, strat); err != nil {
@@ -355,17 +473,36 @@ func runCell(ctx context.Context, strat core.Strategy, n, m, k int) (Cell, error
 			}
 		}
 	})
-	cell.NsPerOp = float64(res.NsPerOp())
-	cell.AllocsPerOp = res.AllocsPerOp()
-	cell.BytesPerOp = res.AllocedBytesPerOp()
 	return cell, nil
+}
+
+// benchRepeats is the per-cell sample count: every cell keeps its
+// fastest ns/op of this many testing.Benchmark runs. Noisy shared
+// runners routinely inflate a single 100ms sample by 1.5x or more;
+// the minimum is the sample least polluted by neighbors, so both the
+// baseline and the checked run converge on comparable numbers.
+const benchRepeats = 3
+
+// measure runs the benchmark loop benchRepeats times and keeps the
+// fastest sample's numbers.
+func measure(fn func(b *testing.B)) (nsPerOp float64, allocs, bytes int64) {
+	nsPerOp = math.Inf(1)
+	for r := 0; r < benchRepeats; r++ {
+		res := testing.Benchmark(fn)
+		if ns := float64(res.NsPerOp()); ns < nsPerOp {
+			nsPerOp = ns
+			allocs = res.AllocsPerOp()
+			bytes = res.AllocedBytesPerOp()
+		}
+	}
+	return nsPerOp, allocs, bytes
 }
 
 // calibrate measures a fixed pure-CPU workload (a splitmix64 chain)
 // whose speed tracks single-core integer throughput. Reports on two
 // machines are comparable after dividing by their calibration ratio.
 func calibrate() float64 {
-	res := testing.Benchmark(func(b *testing.B) {
+	ns, _, _ := measure(func(b *testing.B) {
 		var acc uint64
 		for i := 0; i < b.N; i++ {
 			x := uint64(i) + 1
@@ -378,7 +515,7 @@ func calibrate() float64 {
 			b.Log(acc)
 		}
 	})
-	return float64(res.NsPerOp())
+	return ns
 }
 
 // compare reports each cell's normalized ratio and returns the number

@@ -152,3 +152,125 @@ func (sm *syntheticModel) stats() (calls, hits int64) {
 	defer sm.mu.Unlock()
 	return sm.calls, sm.hits
 }
+
+// groupedBenchModel is the partitioned-solver grid's cost model: EXEC
+// decomposes per structure (a phase-preferred index term plus
+// per-structure maintenance and noise, each depending only on that
+// structure's bit), so the interaction graph factors into one
+// component per structure and the partitioned solve must recombine
+// with a provably zero gap. The non-factorable variant declares one
+// clique spanning every structure — same costs, but the solver cannot
+// split the lattice and (under ForceBeam) must run the anytime beam.
+// Unlike syntheticModel, the tie-breaking noise is drawn per
+// (stage, structure, bit) rather than per full configuration: whole-
+// config noise would couple every structure and silently break the
+// additive-EXEC contract ExecInteractions promises.
+type groupedBenchModel struct {
+	n, structs int
+	phases     int
+	cliques    []core.Config
+
+	mu    sync.Mutex
+	exec  map[execKey]float64
+	calls int64
+	hits  int64
+}
+
+func newGroupedBenchModel(n, structs, phases int, factorable bool) *groupedBenchModel {
+	gm := &groupedBenchModel{
+		n: n, structs: structs, phases: phases,
+		exec: make(map[execKey]float64, n*(1<<uint(structs))),
+	}
+	if factorable {
+		for s := 0; s < structs; s++ {
+			gm.cliques = append(gm.cliques, core.ConfigOf(s))
+		}
+	} else {
+		var all core.Config
+		for s := 0; s < structs; s++ {
+			all = all.With(s)
+		}
+		gm.cliques = []core.Config{all}
+	}
+	return gm
+}
+
+// ExecInteractions implements core.InteractionModel.
+func (gm *groupedBenchModel) ExecInteractions() []core.Config { return gm.cliques }
+
+func (gm *groupedBenchModel) latticeConfigs() []core.Config {
+	out := make([]core.Config, 1<<uint(gm.structs))
+	for i := range out {
+		out[i] = core.Config(i)
+	}
+	return out
+}
+
+func (gm *groupedBenchModel) preferred(stage int) int {
+	phase := stage * gm.phases / gm.n
+	return int(splitmix64(benchSeed^uint64(phase)) % uint64(gm.structs))
+}
+
+// Exec sums one term per structure: scan-or-seek for the phase's
+// preferred index, maintenance for other held indexes, plus
+// per-structure noise.
+func (gm *groupedBenchModel) Exec(stage int, c core.Config) float64 {
+	key := execKey{stage, c}
+	gm.mu.Lock()
+	gm.calls++
+	if v, ok := gm.exec[key]; ok {
+		gm.hits++
+		gm.mu.Unlock()
+		return v
+	}
+	gm.mu.Unlock()
+
+	pref := gm.preferred(stage)
+	v := 0.0
+	for s := 0; s < gm.structs; s++ {
+		has := c.Has(s)
+		var t float64
+		switch {
+		case s == pref && has:
+			t = 10
+		case s == pref:
+			t = 100
+		case has:
+			t = 2
+		}
+		bit := uint64(0)
+		if has {
+			bit = 1
+		}
+		t += float64(splitmix64(benchSeed^uint64(stage)<<20^uint64(s)<<1^bit)%1000) / 500.0
+		v += t
+	}
+
+	gm.mu.Lock()
+	gm.exec[key] = v
+	gm.mu.Unlock()
+	return v
+}
+
+func (gm *groupedBenchModel) Trans(from, to core.Config) float64 {
+	added, removed := from.Diff(to)
+	return 40*float64(len(added)) + 5*float64(len(removed))
+}
+
+func (gm *groupedBenchModel) TransParts() (add, drop []float64) {
+	add = make([]float64, gm.structs)
+	drop = make([]float64, gm.structs)
+	for s := range add {
+		add[s] = 40
+		drop[s] = 5
+	}
+	return add, drop
+}
+
+func (gm *groupedBenchModel) Size(c core.Config) float64 { return float64(c.Count()) }
+
+func (gm *groupedBenchModel) stats() (calls, hits int64) {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	return gm.calls, gm.hits
+}

@@ -181,6 +181,7 @@ const (
 	StrategyRanking      = core.StrategyRanking
 	StrategyRankAndMerge = core.StrategyRankAndMerge
 	StrategyHybrid       = core.StrategyHybrid
+	StrategyPartitioned  = core.StrategyPartitioned
 )
 
 // Strategies lists every available strategy.

@@ -96,7 +96,9 @@ type Options struct {
 	// Fallback enables the resilient degradation ladder: when the
 	// chosen strategy times out, exhausts its budget, faults, or
 	// panics, progressively cheaper strategies answer instead
-	// (core.DefaultLadder), ending at LastKnownGood when set.
+	// (core.AutoLadder — which also leads with the partitioned solver
+	// for candidate spans above the exact hypercube ceiling), ending at
+	// LastKnownGood when set.
 	Fallback bool
 	// LastKnownGood optionally supplies a previously recommended design
 	// sequence adopted (after revalidation) when every solving rung
@@ -235,6 +237,10 @@ type whatIfModel struct {
 	// TakeErr drain (the core.FallibleModel contract).
 	errMu   sync.Mutex
 	execErr error
+	// interOnce guards interactions, the memoized ExecInteractions
+	// cliques (computed lazily — only the partitioned solver asks).
+	interOnce    sync.Once
+	interactions []core.Config
 }
 
 // fnv64 is FNV-1a over a byte sequence fed piecewise.
@@ -399,6 +405,63 @@ func (m *whatIfModel) TransParts() (add, drop []float64) {
 	return add, drop
 }
 
+// ExecInteractions implements core.InteractionModel: one clique per
+// workload statement holding the candidate indexes that can change that
+// statement's access-path choice. The planner picks the single cheapest
+// index path per statement, so a statement's cost depends only on the
+// indexes relevant to it — indexes whose solo what-if probe beats (or
+// ties, given the planner's index-preferring tie-break) the heap scan.
+// Index-maintenance costs (INSERT, and the write half of UPDATE/DELETE)
+// are per-structure additive and so contribute no interaction edges.
+// Two indexes never sharing a clique therefore never co-affect any
+// EXEC term, which is exactly the independence SolvePartitioned
+// factors on.
+func (m *whatIfModel) ExecInteractions() []core.Config {
+	m.interOnce.Do(func() {
+		seen := make(map[core.Config]bool)
+		for _, seg := range m.segs {
+			for _, s := range seg.Statements {
+				cl := m.relevantIndexes(s.Stmt)
+				if cl.Count() < 2 || seen[cl] {
+					continue // singletons add no edges
+				}
+				seen[cl] = true
+				m.interactions = append(m.interactions, cl)
+			}
+		}
+	})
+	return m.interactions
+}
+
+// relevantIndexes probes each candidate index alone against the
+// statement's row search: the index is relevant when the planner picks
+// it over the heap scan. DML statements probe the same SELECT their
+// costing uses for the row search; INSERTs have none.
+func (m *whatIfModel) relevantIndexes(stmt sql.Statement) core.Config {
+	var probe *sql.Select
+	switch s := stmt.(type) {
+	case *sql.Select:
+		probe = s
+	case *sql.Update:
+		probe = &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
+	case *sql.Delete:
+		probe = &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
+	default:
+		return 0
+	}
+	var cl core.Config
+	for s := range m.phys {
+		a, err := cost.ChooseAccess(probe, m.table, m.phys[s:s+1])
+		if err != nil {
+			continue // costing failures surface through Exec, not here
+		}
+		if a.Kind != cost.HeapScan {
+			cl |= 1 << uint(s)
+		}
+	}
+	return cl
+}
+
 // Size implements core.CostModel: total pages of the configuration.
 func (m *whatIfModel) Size(c core.Config) float64 {
 	total := 0.0
@@ -548,7 +611,11 @@ func (a *Advisor) solveProblem(ctx context.Context, p *core.Problem, strategy co
 	if opts.resilient() {
 		ladder := []core.Strategy{strategy}
 		if opts.Fallback {
-			ladder = core.DefaultLadder(strategy)
+			// AutoLadder prepends the partitioned solver when the
+			// candidate span is above the exact hypercube ceiling — the
+			// regime where the primary would silently degrade to the
+			// dense scan (see core.ErrLatticeTooLarge).
+			ladder = core.AutoLadder(p, strategy)
 		}
 		ropts := core.ResilientOptions{
 			Ladder:         ladder,

@@ -54,6 +54,15 @@ type Recommendation struct {
 	Degradations    int64
 	Cancellations   int64
 	RecoveredPanics int64
+	// Gap is the anytime optimality gap of the solution: zero when the
+	// answering solver was exact (or proved its recombination optimal),
+	// positive when a beam-pruned partitioned solve had to stop early —
+	// the true optimum is then within [Cost-Gap, Cost].
+	Gap float64
+	// LatticeOverflows counts dense fallbacks for sub-problems whose
+	// structure span exceeded the hypercube kernel's bit ceiling; see
+	// core.ErrLatticeTooLarge for the actionable diagnostic.
+	LatticeOverflows int64
 	// Explanation is the decision provenance of the recommendation —
 	// per-transition cost attribution, the counterfactual k-sweep, and
 	// the overfitting audit. Populated by Advisor.Explain (or
@@ -78,6 +87,10 @@ func (r *Recommendation) fillInstrumentation(p *core.Problem) {
 	r.Degradations = p.Metrics.Degradations()
 	r.Cancellations = p.Metrics.Cancellations()
 	r.RecoveredPanics = p.Metrics.RecoveredPanics()
+	r.LatticeOverflows = p.Metrics.LatticeOverflows()
+	if r.Solution != nil {
+		r.Gap = r.Solution.Gap
+	}
 }
 
 // PerStatement expands the per-stage designs to one configuration per
@@ -219,6 +232,14 @@ func (r *Recommendation) Render(w io.Writer) {
 		r.Problem.Stages, len(r.Problem.Configs), k, r.Problem.Policy)
 	fmt.Fprintf(w, "  estimated sequence cost: %.0f pages   changes used: %d\n",
 		r.Solution.Cost, r.Solution.Changes)
+	if r.Gap > 0 {
+		fmt.Fprintf(w, "  anytime bound: optimum within %.0f pages (gap %.2f%% of cost)\n",
+			r.Gap, 100*r.Gap/r.Solution.Cost)
+	}
+	if r.LatticeOverflows > 0 {
+		fmt.Fprintf(w, "  note: %d dense-fallback table build(s) above the 20-bit lattice ceiling (see core.ErrLatticeTooLarge)\n",
+			r.LatticeOverflows)
+	}
 	fmt.Fprintf(w, "  what-if calls: %d   cache hit rate: %.1f%%   matrix build: %.1f ms (%d builds, %d cached reads)\n",
 		r.Stats.WhatIfCalls, 100*r.Stats.HitRate(),
 		float64(r.MatrixBuildTime.Microseconds())/1000, r.MatrixBuilds, r.MatrixReuses)

@@ -14,18 +14,26 @@ import (
 // do not cache by default — attach one explicitly (the advisor does)
 // and share it by copying the Problem, the same way Metrics is shared.
 //
-// The cache retains the single most recent table set, keyed by the
-// model identity, stage count, endpoints, and candidate list; a solve
-// with any other key rebuilds and replaces the entry. Tables containing
-// non-finite cells (a FallibleModel reporting a fault as +Inf) are
-// returned to the requesting solve but never retained, so a healthy
-// retry after a fault cannot observe poisoned cells. All methods are
-// safe for concurrent use; concurrent builds of the same family
-// serialize on the cache so the model is evaluated once.
+// The cache retains the few most recent table sets (maxCacheEntries,
+// MRU-evicted), each keyed by the model identity, stage count,
+// endpoints, and candidate list. Multiple live entries are what lets a
+// partitioned solve keep one table set per component sub-lattice, so a
+// window-to-window re-solve reuses the components the workload did not
+// touch. Tables containing non-finite cells (a FallibleModel reporting
+// a fault as +Inf) are returned to the requesting solve but never
+// retained, so a healthy retry after a fault cannot observe poisoned
+// cells. All methods are safe for concurrent use; concurrent builds of
+// the same family serialize on the cache so the model is evaluated
+// once.
 type SolveCache struct {
-	mu    sync.Mutex
-	entry *cacheEntry
+	mu      sync.Mutex
+	entries []*cacheEntry // most recently used first
 }
+
+// maxCacheEntries bounds the retained table sets: enough for a full
+// solve's tables plus the component tables of a partitioned solve of
+// typical width, small enough that stale families age out quickly.
+const maxCacheEntries = 8
 
 type cacheEntry struct {
 	model CostModel
@@ -118,8 +126,12 @@ func (c *SolveCache) tables(ctx context.Context, p *Problem, configs []Config, n
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.entry.matches(p, configs) {
-		m := c.entry.m
+	for i, e := range c.entries {
+		if !e.matches(p, configs) {
+			continue
+		}
+		c.touch(i)
+		m := e.m
 		if !needTrans || m.trans != nil {
 			p.Metrics.noteMatrixReuse()
 			return m, nil
@@ -156,13 +168,26 @@ func (c *SolveCache) tables(ctx context.Context, p *Problem, configs []Config, n
 			f := *p.Final
 			final = &f
 		}
-		c.entry = &cacheEntry{
+		c.entries = append([]*cacheEntry{{
 			model: p.Model, version: ver, versioned: versioned,
 			stages: p.Stages, initial: p.Initial,
 			final: final, configs: configs, m: m,
+		}}, c.entries...)
+		if len(c.entries) > maxCacheEntries {
+			c.entries = c.entries[:maxCacheEntries]
 		}
 	}
 	return m, nil
+}
+
+// touch moves entry i to the front of the MRU order.
+func (c *SolveCache) touch(i int) {
+	if i == 0 {
+		return
+	}
+	e := c.entries[i]
+	copy(c.entries[1:i+1], c.entries[:i])
+	c.entries[0] = e
 }
 
 // peek returns a stable view of the cached tables when they were built
@@ -178,13 +203,15 @@ func (c *SolveCache) peek(p *Problem) *matrices {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := c.entry
-	if e == nil || !e.sameWorld(p) || e.stages != p.Stages {
-		return nil
+	for _, e := range c.entries {
+		if !e.sameWorld(p) || e.stages != p.Stages {
+			continue
+		}
+		p.Metrics.noteMatrixReuse()
+		view := *e.m
+		return &view
 	}
-	p.Metrics.noteMatrixReuse()
-	view := *e.m
-	return &view
+	return nil
 }
 
 func finiteCell(v float64) bool {

@@ -204,6 +204,12 @@ type Solution struct {
 	// Changes is the number of design changes under the problem's
 	// policy.
 	Changes int
+	// Gap is the optimality-gap bound reported by an anytime solver
+	// (SolvePartitioned): Cost is guaranteed within Gap of the
+	// constrained optimum, trusting the model's declared decompositions.
+	// Exact solvers leave it 0 by construction; heuristic solvers make
+	// no claim and also leave it 0.
+	Gap float64
 }
 
 // Run is a maximal run of consecutive stages sharing one configuration.

@@ -81,6 +81,13 @@ const (
 	StrategyRanking      Strategy = "ranking"
 	StrategyRankAndMerge Strategy = "rankmerge"
 	StrategyHybrid       Strategy = "hybrid"
+	// StrategyPartitioned factors the candidate lattice into
+	// independent sub-lattices via the model's interaction graph and
+	// recombines per-component exact (or beam-pruned anytime) solves;
+	// problems that do not factor are delegated to the exact solver
+	// when affordable, so the strategy is valid on any problem. The
+	// returned Solution carries the reported optimality gap.
+	StrategyPartitioned Strategy = "partitioned"
 )
 
 // Strategies lists every available strategy.
@@ -88,6 +95,7 @@ func Strategies() []Strategy {
 	return []Strategy{
 		StrategyKAware, StrategyGreedySeq, StrategyMerge,
 		StrategyRanking, StrategyRankAndMerge, StrategyHybrid,
+		StrategyPartitioned,
 	}
 }
 
@@ -135,6 +143,12 @@ func solve(ctx context.Context, p *Problem, strategy Strategy) (*Solution, error
 	case StrategyHybrid:
 		sol, _, err := SolveHybrid(ctx, p)
 		return sol, err
+	case StrategyPartitioned:
+		ps, err := SolvePartitioned(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return ps.Solution, nil
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %q", strategy)
 	}

@@ -155,6 +155,11 @@ func resolveKernel(p *Problem, configs []Config) kernelChoice {
 	}
 	nbits := span.Count()
 	if nbits > maxLatticeBits {
+		// An additive model wanted the lattice but the span is over the
+		// ceiling: this is the silent O(n·c²) degradation users ask
+		// about, so it is counted and surfaced (ErrLatticeTooLarge,
+		// Recommendation.LatticeOverflows) instead of just happening.
+		p.Metrics.noteLatticeOverflow()
 		return dense
 	}
 	for s := span; s != 0; s &= s - 1 {

@@ -17,6 +17,7 @@ type Metrics struct {
 	degradations     atomic.Int64
 	cancellations    atomic.Int64
 	recoveredPanics  atomic.Int64
+	latticeOverflows atomic.Int64
 }
 
 // noteMatrixBuild records one dense cost-table evaluation.
@@ -118,4 +119,26 @@ func (m *Metrics) RecoveredPanics() int64 {
 		return 0
 	}
 	return m.recoveredPanics.Load()
+}
+
+// noteLatticeOverflow records one kernel resolution whose candidate
+// span exceeded the hypercube lattice ceiling, forcing the dense
+// O(n·c²) fallback (see ErrLatticeTooLarge).
+func (m *Metrics) noteLatticeOverflow() {
+	if m == nil {
+		return
+	}
+	m.latticeOverflows.Add(1)
+}
+
+// LatticeOverflows returns how many solves had an additive-capable
+// model whose candidate span exceeded the 20-bit hypercube ceiling and
+// silently ran on the dense all-pairs kernel instead. A non-zero count
+// is the "why did this solve get slow" diagnostic SolvePartitioned
+// exists to fix; see ErrLatticeTooLarge.
+func (m *Metrics) LatticeOverflows() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.latticeOverflows.Load()
 }

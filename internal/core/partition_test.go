@@ -1,0 +1,507 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// groupedModel is a synthetic InteractionModel: the structure bits are
+// split into disjoint interaction groups, EXEC decomposes as a base
+// term plus one term per group depending only on the group's projection
+// of the configuration, and TRANS is per-structure additive. Costs are
+// integer-valued so every sum is exact in float64 — partitioned
+// recombination and the monolithic exact solve must then agree to the
+// last bit whenever the reported gap is zero.
+type groupedModel struct {
+	additiveModel
+	groups []Config
+}
+
+func (m *groupedModel) ExecInteractions() []Config { return m.groups }
+
+var (
+	_ InteractionModel   = (*groupedModel)(nil)
+	_ AdditiveTransModel = (*groupedModel)(nil)
+)
+
+// randomGroupedModel builds a grouped model over nGroups consecutive
+// bit-ranges of bitsPer structures each, with integer costs.
+func randomGroupedModel(rng *rand.Rand, stages, nGroups, bitsPer int) (*groupedModel, []Config) {
+	structs := nGroups * bitsPer
+	n := 1 << uint(structs)
+	m := &groupedModel{
+		additiveModel: additiveModel{
+			exec: make([][]float64, stages),
+			add:  make([]float64, structs),
+			drop: make([]float64, structs),
+		},
+		groups: make([]Config, nGroups),
+	}
+	for g := 0; g < nGroups; g++ {
+		m.groups[g] = ((1 << uint(bitsPer)) - 1) << uint(g*bitsPer)
+	}
+	for s := 0; s < structs; s++ {
+		m.add[s] = float64(rng.Intn(40))
+		m.drop[s] = float64(rng.Intn(10))
+	}
+	// Per-group term tables: term[g][stage][projection >> shift].
+	for i := 0; i < stages; i++ {
+		base := float64(rng.Intn(100))
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = base
+		}
+		m.exec[i] = row
+	}
+	for g := 0; g < nGroups; g++ {
+		shift := uint(g * bitsPer)
+		sub := 1 << uint(bitsPer)
+		for i := 0; i < stages; i++ {
+			term := make([]float64, sub)
+			for v := range term {
+				term[v] = float64(rng.Intn(60))
+			}
+			for j := 0; j < n; j++ {
+				m.exec[i][j] += term[(j>>shift)&(sub-1)]
+			}
+		}
+	}
+	configs := make([]Config, n)
+	for i := range configs {
+		configs[i] = Config(i)
+	}
+	return m, configs
+}
+
+// runPartitionCase asserts the partitioned solver's contract on one
+// randomized grouped problem against the monolithic exact solve: the
+// solution is feasible, the gap is non-negative, the cost sandwich
+// Cost − Gap ≤ OPT ≤ Cost holds, and a zero gap means bitwise cost
+// equality (integer costs make float sums exact).
+func runPartitionCase(t *testing.T, seed int64, stages, nGroups, bitsPer, k int, policy ChangePolicy, withFinal, forceBeam bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, configs := randomGroupedModel(rng, stages, nGroups, bitsPer)
+	initial := configs[rng.Intn(len(configs))]
+	p := &Problem{
+		Stages: stages, Configs: configs, Initial: initial,
+		K: k, Policy: policy, Model: m, Parallelism: 1,
+	}
+	if withFinal {
+		f := configs[rng.Intn(len(configs))]
+		p.Final = &f
+	}
+	exactP := *p
+	exact, exactErr := SolveKAware(bg, &exactP)
+	ps, psErr := SolvePartitionedOpts(bg, p, PartitionOptions{ForceBeam: forceBeam})
+	if (exactErr == nil) != (psErr == nil) {
+		t.Fatalf("feasibility disagrees: exact err %v, partitioned err %v", exactErr, psErr)
+	}
+	if exactErr != nil {
+		return
+	}
+	if err := p.CheckSolution(ps.Solution); err != nil {
+		t.Fatalf("partitioned solution invalid: %v", err)
+	}
+	if ps.Gap < 0 {
+		t.Fatalf("negative gap %v", ps.Gap)
+	}
+	if ps.Gap != ps.Solution.Gap {
+		t.Fatalf("PartitionedSolution.Gap %v != Solution.Gap %v", ps.Gap, ps.Solution.Gap)
+	}
+	const tol = 1e-6
+	if ps.Cost < exact.Cost-tol {
+		t.Fatalf("partitioned cost %v beats the exact optimum %v", ps.Cost, exact.Cost)
+	}
+	if ps.Cost-ps.Gap > exact.Cost+tol {
+		t.Fatalf("lower bound not admissible: cost %v − gap %v > optimum %v", ps.Cost, ps.Gap, exact.Cost)
+	}
+	if ps.Gap == 0 && ps.Cost != exact.Cost {
+		t.Fatalf("gap 0 but cost %v != exact %v (integer costs must agree bitwise)", ps.Cost, exact.Cost)
+	}
+	if nGroups >= 2 && !ps.Factored {
+		t.Fatalf("grouped cross-product problem did not factor (components=%d)", ps.Components)
+	}
+	if ps.Factored && len(ps.Reports) != ps.Components {
+		t.Fatalf("%d reports for %d components", len(ps.Reports), ps.Components)
+	}
+}
+
+// TestPartitionedMatchesExact sweeps the randomized grid: factorable
+// shapes under both policies, constrained and free finals, exact and
+// forced-beam component paths.
+func TestPartitionedMatchesExact(t *testing.T) {
+	seed := int64(100)
+	for _, nGroups := range []int{2, 3} {
+		for _, bitsPer := range []int{1, 2} {
+			for _, stages := range []int{1, 5, 12} {
+				for _, k := range []int{0, 1, 2, Unconstrained} {
+					for _, policy := range []ChangePolicy{FreeEndpoints, CountAll} {
+						seed++
+						runPartitionCase(t, seed, stages, nGroups, bitsPer, k,
+							policy, seed%2 == 0, seed%5 == 0)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzPartitionEquivalence fuzzes the same contract; CI runs it with a
+// short budget on every PR (make fuzz-smoke).
+func FuzzPartitionEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(2), uint8(1), uint8(2), false, false, false)
+	f.Add(int64(2), uint8(9), uint8(3), uint8(2), uint8(1), true, true, false)
+	f.Add(int64(3), uint8(4), uint8(2), uint8(2), uint8(0), false, true, true)
+	f.Add(int64(4), uint8(12), uint8(3), uint8(1), uint8(5), true, false, true)
+	f.Fuzz(func(t *testing.T, seed int64, stagesRaw, groupsRaw, bitsRaw, kRaw uint8, countAll, withFinal, forceBeam bool) {
+		stages := 1 + int(stagesRaw%12)
+		nGroups := 2 + int(groupsRaw%2)
+		bitsPer := 1 + int(bitsRaw%2)
+		k := int(kRaw%6) - 1 // -1 is Unconstrained
+		policy := FreeEndpoints
+		if countAll {
+			policy = CountAll
+		}
+		runPartitionCase(t, seed, stages, nGroups, bitsPer, k, policy, withFinal, forceBeam)
+	})
+}
+
+// synchronizedModel builds a two-component problem whose components
+// both want their single design change at the same stage (switchAt) —
+// the shape where the shared-stage fast path must prove optimality —
+// or at different stages when the offsets differ.
+func synchronizedModel(stages int, switchAt [2]int) (*groupedModel, []Config) {
+	m := &groupedModel{
+		additiveModel: additiveModel{
+			exec: make([][]float64, stages),
+			add:  []float64{5, 5},
+			drop: []float64{1, 1},
+		},
+		groups: []Config{1, 2},
+	}
+	for i := 0; i < stages; i++ {
+		row := make([]float64, 4)
+		for c := 0; c < 4; c++ {
+			v := 0.0
+			for g := 0; g < 2; g++ {
+				has := c&(1<<uint(g)) != 0
+				if i >= switchAt[g] {
+					// After the switch point the group's index saves 100/stage.
+					if has {
+						v += 10
+					} else {
+						v += 110
+					}
+				} else {
+					// Before it the index is pure overhead.
+					if has {
+						v += 30
+					} else {
+						v += 20
+					}
+				}
+			}
+			row[c] = v
+		}
+		m.exec[i] = row
+	}
+	return m, []Config{0, 1, 2, 3}
+}
+
+// TestPartitionedTightK pins the recombination behaviour under a tight
+// shared budget: components wanting the same switch stage compose into
+// one global change (gap 0, equal to exact); components wanting
+// different stages must trade budget and stay within the reported gap.
+func TestPartitionedTightK(t *testing.T) {
+	t.Run("same stage", func(t *testing.T) {
+		m, configs := synchronizedModel(8, [2]int{4, 4})
+		p := &Problem{Stages: 8, Configs: configs, Initial: 0, K: 1, Model: m}
+		exact, err := SolveKAware(bg, &Problem{Stages: 8, Configs: configs, Initial: 0, K: 1, Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := SolvePartitioned(bg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ps.Factored || ps.Components != 2 {
+			t.Fatalf("expected 2 components, got %+v", ps)
+		}
+		if ps.Gap != 0 {
+			t.Fatalf("synchronized wants must compose with gap 0, got %v", ps.Gap)
+		}
+		if ps.Cost != exact.Cost {
+			t.Fatalf("cost %v != exact %v", ps.Cost, exact.Cost)
+		}
+		if ps.Changes != 1 {
+			t.Fatalf("changes = %d, want 1 shared change", ps.Changes)
+		}
+	})
+	t.Run("different stages", func(t *testing.T) {
+		m, configs := synchronizedModel(8, [2]int{2, 6})
+		p := &Problem{Stages: 8, Configs: configs, Initial: 0, K: 1, Model: m}
+		exact, err := SolveKAware(bg, &Problem{Stages: 8, Configs: configs, Initial: 0, K: 1, Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := SolvePartitioned(bg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckSolution(ps.Solution); err != nil {
+			t.Fatal(err)
+		}
+		const tol = 1e-9
+		if ps.Cost < exact.Cost-tol {
+			t.Fatalf("cost %v beats optimum %v", ps.Cost, exact.Cost)
+		}
+		if ps.Cost-ps.Gap > exact.Cost+tol {
+			t.Fatalf("bound not admissible: %v − %v > %v", ps.Cost, ps.Gap, exact.Cost)
+		}
+	})
+}
+
+// TestPartitionedSingleComponent pins the degenerate delegation: a
+// problem whose interaction graph is one clique must return the exact
+// solver's answer byte for byte, with gap 0 and Factored false.
+func TestPartitionedSingleComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, configs := randomGroupedModel(rng, 10, 1, 3)
+	m.groups = []Config{ConfigOf(0, 1, 2)} // one clique spanning everything
+	p := &Problem{Stages: 10, Configs: configs, Initial: 0, K: 2, Model: m}
+	exact, err := SolveKAware(bg, &Problem{Stages: 10, Configs: configs, Initial: 0, K: 2, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := SolvePartitioned(bg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Factored || ps.Components != 1 || ps.Gap != 0 {
+		t.Fatalf("single-clique problem: %+v", ps)
+	}
+	if ps.Cost != exact.Cost || ps.Changes != exact.Changes {
+		t.Fatalf("delegated solve diverges: (%v, %d) vs (%v, %d)",
+			ps.Cost, ps.Changes, exact.Cost, exact.Changes)
+	}
+	for i := range exact.Designs {
+		if ps.Designs[i] != exact.Designs[i] {
+			t.Fatalf("design %d: %v != %v", i, ps.Designs[i], exact.Designs[i])
+		}
+	}
+}
+
+// TestPartitionedGapMonotone asserts the anytime property: widening the
+// beam along powers of two never increases the reported gap, and every
+// width's cost stays within its own reported gap of the exact optimum.
+func TestPartitionedGapMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, configs := randomGroupedModel(rng, 14, 3, 2)
+	exact, err := SolveKAware(bg, &Problem{Stages: 14, Configs: configs, Initial: 0, K: 2, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGap := -1.0
+	for _, width := range []int{64, 128, 256, 512} {
+		p := &Problem{Stages: 14, Configs: configs, Initial: 0, K: 2, Model: m}
+		ps, err := SolvePartitionedOpts(bg, p, PartitionOptions{ForceBeam: true, BeamWidth: width})
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if prevGap >= 0 && ps.Gap > prevGap+1e-12 {
+			t.Fatalf("gap grew when widening to %d: %v > %v", width, ps.Gap, prevGap)
+		}
+		prevGap = ps.Gap
+		if ps.Cost < exact.Cost-1e-6 || ps.Cost-ps.Gap > exact.Cost+1e-6 {
+			t.Fatalf("width %d: cost %v gap %v vs optimum %v", width, ps.Cost, ps.Gap, exact.Cost)
+		}
+	}
+}
+
+// TestPartitionConfigsEligibility pins every reason partitioning is
+// refused, and the component ordering when it is not.
+func TestPartitionConfigsEligibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+
+	t.Run("no interaction model", func(t *testing.T) {
+		m, configs := randomAdditiveModel(rng, 4, 4)
+		p := &Problem{Stages: 4, Configs: configs, Initial: 0, K: 1, Model: m}
+		if partitionConfigs(p, configs) != nil {
+			t.Fatal("partitioned a model without ExecInteractions")
+		}
+	})
+
+	t.Run("non-additive trans part", func(t *testing.T) {
+		m, configs := randomGroupedModel(rng, 4, 2, 1)
+		m.add[0] = -1
+		p := &Problem{Stages: 4, Configs: configs, Initial: 0, K: 1, Model: m}
+		if partitionConfigs(p, configs) != nil {
+			t.Fatal("partitioned despite a negative TransParts entry")
+		}
+	})
+
+	t.Run("countall initial outside span", func(t *testing.T) {
+		m, configs := randomGroupedModel(rng, 4, 2, 1)
+		p := &Problem{Stages: 4, Configs: configs, Initial: ConfigOf(5), K: 1, Policy: CountAll, Model: m}
+		if partitionConfigs(p, configs) != nil {
+			t.Fatal("partitioned a CountAll problem whose initial leaves the span")
+		}
+		p.Policy = FreeEndpoints
+		if partitionConfigs(p, configs) == nil {
+			t.Fatal("FreeEndpoints with out-of-span initial must still factor")
+		}
+	})
+
+	t.Run("single clique", func(t *testing.T) {
+		m, configs := randomGroupedModel(rng, 4, 2, 1)
+		m.groups = []Config{3}
+		p := &Problem{Stages: 4, Configs: configs, Initial: 0, K: 1, Model: m}
+		if partitionConfigs(p, configs) != nil {
+			t.Fatal("partitioned a single-component clique graph")
+		}
+	})
+
+	t.Run("non-product candidate list", func(t *testing.T) {
+		m, _ := randomGroupedModel(rng, 4, 2, 1)
+		// {00, 01, 10} is missing 11: projections {0,1}×{0,1} ≠ list.
+		configs := []Config{0, 1, 2}
+		p := &Problem{Stages: 4, Configs: configs, Initial: 0, K: 1, Model: m}
+		if partitionConfigs(p, configs) != nil {
+			t.Fatal("partitioned a non-cross-product candidate list")
+		}
+	})
+
+	t.Run("component order and projections", func(t *testing.T) {
+		m, configs := randomGroupedModel(rng, 4, 3, 2)
+		p := &Problem{Stages: 4, Configs: configs, Initial: 0, K: 1, Model: m}
+		plan := partitionConfigs(p, configs)
+		if plan == nil {
+			t.Fatal("3×2-bit cross product did not factor")
+		}
+		if len(plan.masks) != 3 {
+			t.Fatalf("masks = %v", plan.masks)
+		}
+		for j, want := range []Config{ConfigOf(0, 1), ConfigOf(2, 3), ConfigOf(4, 5)} {
+			if plan.masks[j] != want {
+				t.Fatalf("mask %d = %v, want %v", j, plan.masks[j], want)
+			}
+			if len(plan.subs[j]) != 4 {
+				t.Fatalf("component %d has %d projections, want 4", j, len(plan.subs[j]))
+			}
+		}
+	})
+}
+
+// TestAutoLadder pins the resilient ladder's strategy selection around
+// the lattice ceiling.
+func TestAutoLadder(t *testing.T) {
+	narrow := &Problem{Configs: []Config{0, 1, 2}}
+	if got := AutoLadder(narrow, StrategyKAware); got[0] != StrategyKAware {
+		t.Fatalf("narrow ladder starts with %v", got)
+	}
+	wide := &Problem{Configs: make([]Config, 0, maxLatticeBits+2)}
+	for s := 0; s <= maxLatticeBits+1; s++ {
+		wide.Configs = append(wide.Configs, ConfigOf(s))
+	}
+	got := AutoLadder(wide, StrategyKAware)
+	if got[0] != StrategyPartitioned || got[1] != StrategyKAware {
+		t.Fatalf("wide ladder = %v, want partitioned first", got)
+	}
+	if got := AutoLadder(wide, StrategyPartitioned); got[0] != StrategyPartitioned || len(got) != 3 {
+		t.Fatalf("partitioned-primary ladder = %v (must not double up)", got)
+	}
+}
+
+// TestLatticeOverflowDiagnostic asserts the silent dense fallback above
+// the hypercube ceiling is counted and surfaced as a typed error.
+func TestLatticeOverflowDiagnostic(t *testing.T) {
+	var metrics Metrics
+	if err := metrics.LatticeOverflowDiagnostic(); err != nil {
+		t.Fatalf("fresh ledger reports %v", err)
+	}
+	structs := maxLatticeBits + 2
+	m := &additiveModel{
+		exec: [][]float64{nil}, // kernel resolution never prices EXEC
+		add:  make([]float64, structs),
+		drop: make([]float64, structs),
+	}
+	configs := make([]Config, structs+1)
+	for s := 0; s < structs; s++ {
+		configs[s+1] = ConfigOf(s)
+	}
+	p := &Problem{Stages: 1, Configs: configs, Initial: 0, K: 1, Model: m,
+		Kernel: KernelHypercube, Metrics: &metrics}
+	if got := resolveKernel(p, configs).kind; got != KernelDense {
+		t.Fatalf("22-bit span resolved to %v, want dense fallback", got)
+	}
+	if got := metrics.LatticeOverflows(); got != 1 {
+		t.Fatalf("LatticeOverflows = %d, want 1", got)
+	}
+	err := metrics.LatticeOverflowDiagnostic()
+	if !errors.Is(err, ErrLatticeTooLarge) {
+		t.Fatalf("diagnostic = %v, want ErrLatticeTooLarge", err)
+	}
+}
+
+// TestPartitionedCacheWarmStart asserts a re-solve through a shared
+// SolveCache reuses every component's tables: the multi-entry cache
+// must hold one entry per component sub-lattice.
+func TestPartitionedCacheWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m, configs := randomGroupedModel(rng, 10, 3, 2)
+	p := &Problem{
+		Stages: 10, Configs: configs, Initial: 0, K: 2, Model: m,
+		Cache: NewSolveCache(), Metrics: &Metrics{},
+	}
+	ps1, err := SolvePartitioned(bg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := p.Metrics.MatrixBuilds()
+	if builds == 0 {
+		t.Fatal("no table builds recorded")
+	}
+	ps2, err := SolvePartitioned(bg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Metrics.MatrixBuilds(); got != builds {
+		t.Fatalf("re-solve rebuilt tables: %d -> %d builds", builds, got)
+	}
+	if p.Metrics.MatrixReuses() == 0 {
+		t.Fatal("re-solve reused no tables")
+	}
+	if ps1.Cost != ps2.Cost {
+		t.Fatalf("warm re-solve changed the answer: %v != %v", ps1.Cost, ps2.Cost)
+	}
+}
+
+// TestPartitionedStrategy asserts the strategy registration: solving
+// through the generic dispatcher matches SolvePartitioned.
+func TestPartitionedStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m, configs := randomGroupedModel(rng, 8, 2, 2)
+	p := &Problem{Stages: 8, Configs: configs, Initial: 0, K: 2, Model: m}
+	viaStrategy, err := Solve(bg, p, StrategyPartitioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := SolvePartitioned(bg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaStrategy.Cost != direct.Cost {
+		t.Fatalf("strategy dispatch cost %v != direct %v", viaStrategy.Cost, direct.Cost)
+	}
+	found := false
+	for _, s := range Strategies() {
+		if s == StrategyPartitioned {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("StrategyPartitioned missing from %v", Strategies())
+	}
+}

@@ -146,6 +146,28 @@ func DefaultLadder(primary Strategy) []Strategy {
 	return out
 }
 
+// AutoLadder builds the degradation ladder for a problem: the default
+// ladder of the preferred strategy, with the partitioned solver
+// prepended when the candidate span exceeds the exact hypercube
+// ceiling — the regime where the exact solvers silently degrade to the
+// dense O(n·c²) scan (ErrLatticeTooLarge) and factoring or anytime
+// search is the right first attempt. Below the ceiling the exact
+// solver is already optimal, so the ladder is unchanged.
+func AutoLadder(p *Problem, primary Strategy) []Strategy {
+	ladder := DefaultLadder(primary)
+	if primary == StrategyPartitioned {
+		return ladder
+	}
+	var span Config
+	for _, c := range p.Configs {
+		span |= c
+	}
+	if span.Count() > maxLatticeBits {
+		return append([]Strategy{StrategyPartitioned}, ladder...)
+	}
+	return ladder
+}
+
 // ResilientResult is the outcome of a resilient solve.
 type ResilientResult struct {
 	// Solution is feasible for the problem (CheckSolution-valid); nil
@@ -183,7 +205,7 @@ func SolveResilient(ctx context.Context, p *Problem, opts ResilientOptions) (*Re
 	}
 	ladder := opts.Ladder
 	if len(ladder) == 0 {
-		ladder = DefaultLadder(StrategyKAware)
+		ladder = AutoLadder(p, StrategyKAware)
 	}
 	fallible, _ := p.Model.(FallibleModel)
 

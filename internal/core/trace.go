@@ -39,4 +39,15 @@ const (
 	// SpanResilientRung covers one attempted rung of the resilient
 	// ladder, verification included (attrs: strategy, ok, class).
 	SpanResilientRung = "resilient.rung"
+	// SpanPartitionCluster covers the interaction-graph clustering and
+	// cross-product check of a partitioned solve (attrs: components,
+	// factored, configs).
+	SpanPartitionCluster = "partition.cluster"
+	// SpanPartitionComponent covers one component's solve — exact
+	// layered DP or anytime beam (attrs: bits, configs, exact, ok).
+	SpanPartitionComponent = "partition.component"
+	// SpanPartitionRecombine covers the budget knapsack, the
+	// synchronization repair pass, and the composed re-pricing (attrs:
+	// components, ok, gap).
+	SpanPartitionRecombine = "partition.recombine"
 )

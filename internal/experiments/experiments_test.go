@@ -266,7 +266,7 @@ func TestAblationHarnesses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(strat.Names) != 6 || strat.Optimal <= 0 {
+	if len(strat.Names) != 7 || strat.Optimal <= 0 {
 		t.Errorf("strategy comparison = %+v", strat)
 	}
 	for i, c := range strat.Costs {
