@@ -21,8 +21,11 @@ test:
 
 # The -race suite exercises the concurrent costing layer: the sharded
 # what-if cache, the parallel matrix build, and the experiment fan-out.
+# internal/experiments replays full workloads against the live engine
+# and sits near go test's default 10m package deadline under -race on
+# slower machines, so the timeout is raised explicitly.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -79,7 +82,12 @@ explain-smoke:
 # under the race detector: a real HTTP listener, a phase-shifting trace
 # streamed through POST /ingest, at least one drift-triggered re-solve
 # (asserted via /healthz counters — the trigger is the alerter, not a
-# timer), and a parseable GET /recommendation. See DESIGN.md §13.
+# timer), and a parseable GET /recommendation. The run also asserts
+# post-publish calibration (GET /calibration + advisord_calib_* gauges
+# in a parsed metrics exposition) and the per-solve decision lineage
+# (GET /solves ring + solves.jsonl audit log); set
+# ADVISORD_CALIB_ARTIFACTS to a directory to keep the calibration
+# report JSON (CI uploads it). See DESIGN.md §13 and §16.
 advisord-smoke:
 	$(GO) test -race -count=1 -run TestAdvisordSmoke -v ./cmd/advisord/
 

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dyndesign/internal/calib"
+)
+
+// lineageCap bounds the in-memory solve history served by GET /solves.
+// The JSONL audit file (when configured) is unbounded: it is the
+// durable record, the ring is the operator's quick view.
+const lineageCap = 64
+
+// solveRecord is the decision lineage of one solve attempt: everything
+// needed to answer "why is this design installed" after the fact —
+// which trigger fired, what slice of the stream the solver saw, which
+// ladder rung answered, what it cost, how warm the caches were, and
+// how well the cost model that justified it calibrated against the
+// engine. One record is emitted per solve attempt, including failed
+// ones (Error set, cost fields zero).
+type solveRecord struct {
+	// SolveID numbers solve attempts within this process, starting at 1.
+	SolveID  uint64    `json:"solve_id"`
+	Reason   string    `json:"reason"`
+	SolvedAt time.Time `json:"solved_at"`
+	// SolveMillis is the solver wall time (excludes explain, publish,
+	// and calibration).
+	SolveMillis float64 `json:"solve_millis"`
+
+	// Window provenance: the solve consumed stream ordinals
+	// [WindowStart, WindowEnd) — WindowEnd is the ingest cursor (total
+	// statements ever accepted) at solve time, the same number /healthz
+	// reports as window_total. WindowSeq is the window mutation counter
+	// the published snapshot carries.
+	Window      string `json:"window"`
+	WindowSeq   uint64 `json:"window_seq"`
+	WindowStart int64  `json:"window_start"`
+	WindowEnd   int64  `json:"window_end"`
+	// WALLastSeq is the last durable WAL sequence at solve time (0
+	// without a data dir): the replay cursor this decision is pinned to.
+	WALLastSeq uint64 `json:"wal_last_seq,omitempty"`
+	// DriftAlerts is the lifetime alert count when the solve started —
+	// correlating a record to the alert that triggered it.
+	DriftAlerts int64 `json:"drift_alerts"`
+
+	// Outcome: the requested strategy, the ladder rung that actually
+	// answered, and the solved objective.
+	Strategy  string  `json:"strategy,omitempty"`
+	Rung      string  `json:"rung,omitempty"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	K         int     `json:"k,omitempty"`
+	Cost      float64 `json:"cost,omitempty"`
+	ExecCost  float64 `json:"exec_cost,omitempty"`
+	TransCost float64 `json:"trans_cost,omitempty"`
+	Changes   int     `json:"changes,omitempty"`
+	Gap       float64 `json:"gap,omitempty"`
+
+	// Costing-layer warmth: how much of the answer came from retained
+	// state rather than fresh what-if calls.
+	WhatIfCalls      int64   `json:"whatif_calls,omitempty"`
+	MemoHitRate      float64 `json:"memo_hit_rate,omitempty"`
+	MatrixBuilds     int64   `json:"matrix_builds,omitempty"`
+	MatrixReuses     int64   `json:"matrix_reuses,omitempty"`
+	LatticeOverflows int64   `json:"lattice_overflows,omitempty"`
+
+	// Error is set on failed attempts; all outcome fields are then zero.
+	Error string `json:"error,omitempty"`
+
+	// Calibration summarizes the post-publish measured-vs-estimated
+	// replay of this recommendation; nil when calibration is disabled
+	// or the replay itself failed.
+	Calibration *calibSummary `json:"calibration,omitempty"`
+}
+
+// calibSummary is the per-solve slice of a calibration run, embedded in
+// the lineage record (the streaming aggregates live at GET /calibration).
+type calibSummary struct {
+	Samples        int     `json:"samples"`
+	SkippedDML     int     `json:"skipped_dml"`
+	Errors         int     `json:"errors"`
+	Transitions    int     `json:"transitions"`
+	MedianAbsRatio float64 `json:"median_abs_ratio"`
+	MeanSignedLog2 float64 `json:"mean_signed_log2"`
+	WallMillis     float64 `json:"wall_millis"`
+}
+
+func summarizeCalibration(rep *calib.RunReport) *calibSummary {
+	if rep == nil {
+		return nil
+	}
+	return &calibSummary{
+		Samples:        len(rep.Samples),
+		SkippedDML:     rep.SkippedDML,
+		Errors:         rep.Errors,
+		Transitions:    rep.Transitions,
+		MedianAbsRatio: rep.MedianAbsRatio(),
+		MeanSignedLog2: rep.MeanSignedLog2(),
+		WallMillis:     float64(rep.Wall.Microseconds()) / 1000,
+	}
+}
+
+// lineage is the solve history: a bounded ring for GET /solves plus an
+// optional append-only JSONL audit file that survives the ring (and the
+// process). Records arrive from the single solver goroutine; readers
+// are arbitrary HTTP goroutines, hence the mutex.
+type lineage struct {
+	mu     sync.Mutex
+	nextID uint64
+	recs   []solveRecord
+	audit  *os.File
+	// auditErrors counts JSONL writes that failed; the ring keeps the
+	// record either way.
+	auditErrors int64
+}
+
+// newLineage opens the audit sink (appending to an existing file, so
+// restarts extend the history rather than truncate it). An empty path
+// keeps lineage in-memory only.
+func newLineage(auditPath string) (*lineage, error) {
+	l := &lineage{}
+	if auditPath != "" {
+		f, err := os.OpenFile(auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("advisord: opening solve audit log: %w", err)
+		}
+		l.audit = f
+	}
+	return l, nil
+}
+
+// nextSolveID hands out the next attempt number.
+func (l *lineage) nextSolveID() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	return l.nextID
+}
+
+// record appends to the ring (evicting the oldest past lineageCap) and
+// the audit file. Audit failures are counted, not fatal: losing a
+// lineage line must never take down the solve path that produced it.
+func (l *lineage) record(rec solveRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, rec)
+	if len(l.recs) > lineageCap {
+		l.recs = l.recs[len(l.recs)-lineageCap:]
+	}
+	if l.audit == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err == nil {
+		line = append(line, '\n')
+		_, err = l.audit.Write(line)
+	}
+	if err != nil {
+		l.auditErrors++
+		fmt.Fprintf(os.Stderr, "advisord: solve audit append failed: %v\n", err)
+	}
+}
+
+// list returns the retained records newest-first, plus the count of
+// audit lines that failed to persist.
+func (l *lineage) list() ([]solveRecord, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]solveRecord, len(l.recs))
+	for i, r := range l.recs {
+		out[len(out)-1-i] = r
+	}
+	return out, l.auditErrors
+}
+
+func (l *lineage) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.audit == nil {
+		return nil
+	}
+	err := l.audit.Close()
+	l.audit = nil
+	return err
+}

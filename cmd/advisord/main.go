@@ -9,7 +9,19 @@
 //	POST /ingest          {"sql": "SELECT ..."} or {"statements": [{"label": "A", "sql": "..."}]}
 //	POST /solve           force a synchronous re-solve and return the fresh recommendation
 //	GET  /recommendation  last published design sequence, DDL steps, and provenance
+//	GET  /solves          per-solve decision lineage, newest first (ring of 64)
+//	GET  /calibration     streaming cost-model calibration report (estimate vs measured)
 //	GET  /healthz         ingest/solve counters, memo occupancy, and WAL/recovery state
+//
+// After every published solve the service replays -calib-samples window
+// statements against the engine under the recommended design, pairing
+// each measured page-access count with the what-if estimate that
+// justified the recommendation. The streaming error statistics (bias,
+// ratio quantiles, drift trend) feed GET /calibration and the
+// advisord_calib_* gauges; each solve's lineage record — trigger,
+// window slice, WAL cursor, ladder rung, cache warmth, calibration
+// summary — lands in GET /solves and, with -data-dir, in an append-only
+// solves.jsonl audit log. See DESIGN.md §16.
 //
 // With -data-dir the service is crash-safe: every accepted statement is
 // appended to a CRC-framed, fsync-batched write-ahead log BEFORE the
@@ -49,6 +61,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -99,18 +112,22 @@ func run(ctx context.Context) error {
 	alertWindow := flag.Int("alert-window", 0, "drift alerter window in statements (0 = default 500)")
 	alertEvery := flag.Int("alert-every", 0, "re-check drift every this many statements (0 = default 50)")
 	alertThreshold := flag.Float64("alert-threshold", 0, "relative improvement that counts as drift (0 = default 0.25)")
+	calibSamples := flag.Int("calib-samples", 16, "statements replayed against the engine after each published solve to calibrate the cost model (0 = off)")
+	calibSeed := flag.Int64("calib-seed", 1, "seed for the deterministic calibration sampling")
 	traceOut := flag.String("trace-out", "", "write solver spans as JSONL to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, expvar, and pprof at this address (e.g. :9090)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof at this address (may equal -metrics-addr)")
 	flag.Parse()
 
 	gauges := obs.NewGaugeSet()
+	hists := obs.NewHistogramSet()
 	tracer, obsTeardown, err := obs.Setup(obs.CLIConfig{
 		TracePath:   *traceOut,
 		MetricsAddr: *metricsAddr,
 		PprofAddr:   *pprofAddr,
 		SummaryW:    os.Stderr,
 		Gauges:      gauges,
+		Hists:       hists,
 		// SIGTERM routes the JSONL tail flush through the signal path:
 		// spans emitted before the signal survive even if the process
 		// exits without running the deferred teardown.
@@ -135,11 +152,15 @@ func run(ctx context.Context) error {
 		return err
 	}
 	var store *durable.Store
+	auditPath := ""
 	if *dataDir != "" {
 		store, err = durable.Open(*dataDir, durable.Options{FsyncEvery: *fsyncEvery, SegmentBytes: *walSegmentBytes})
 		if err != nil {
 			return err
 		}
+		// The solve lineage audit rides in the data dir beside the WAL:
+		// an append-only JSONL history of every solve attempt.
+		auditPath = filepath.Join(*dataDir, "solves.jsonl")
 	}
 	svc, err := newService(adv, serviceConfig{
 		WindowCap:     *windowCap,
@@ -153,6 +174,9 @@ func run(ctx context.Context) error {
 		Fallback:      *fallback,
 		Parallelism:   *parallelism,
 		Explain:       *explainFlag,
+		CalibSamples:  *calibSamples,
+		CalibSeed:     *calibSeed,
+		AuditPath:     auditPath,
 		Store:         store,
 		SnapshotEvery: *snapshotEvery,
 		MaxInflight:   *maxInflight,
@@ -164,6 +188,7 @@ func run(ctx context.Context) error {
 		},
 		Tracer: tracer,
 		Gauges: gauges,
+		Hists:  hists,
 	})
 	if err != nil {
 		if store != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sync"
@@ -13,6 +14,7 @@ import (
 
 	"dyndesign/internal/advisor"
 	"dyndesign/internal/alerter"
+	"dyndesign/internal/calib"
 	"dyndesign/internal/core"
 	"dyndesign/internal/durable"
 	"dyndesign/internal/explain"
@@ -66,11 +68,28 @@ type serviceConfig struct {
 	// recommendation (sweep and audit stay off — they re-solve).
 	Explain bool
 
+	// CalibSamples replays this many sampled window statements against
+	// the live engine after every published solve, pairing measured page
+	// accesses with the what-if estimates that justified the
+	// recommendation (0 = calibration off; the solve path then runs
+	// byte-for-byte as before). Calibration runs strictly after the
+	// recommendation is published, on the solver goroutine, so it delays
+	// the next solve but never the current answer.
+	CalibSamples int
+	// CalibSeed drives the deterministic calibration sampling.
+	CalibSeed int64
+	// AuditPath appends one JSON line of decision lineage per solve
+	// attempt (empty = in-memory ring only; see GET /solves).
+	AuditPath string
+
 	// Alerter tunes drift detection over the ingest stream.
 	Alerter alerter.Options
 
 	Tracer *obs.Tracer
 	Gauges *obs.GaugeSet
+	// Hists receives the advisord_ingest_seconds / advisord_solve_seconds
+	// latency distributions (nil = not recorded).
+	Hists *obs.HistogramSet
 }
 
 // snapshot is one published recommendation: the pre-marshaled response
@@ -81,6 +100,11 @@ type serviceConfig struct {
 type snapshot struct {
 	seq  uint64
 	body []byte
+	// at is the publication instant, backing the
+	// advisord_recommendation_age_seconds gauge. It lives beside the
+	// body, not in it, so publication metadata never perturbs the
+	// recommendation bytes a reader gets.
+	at time.Time
 }
 
 // service is the long-running advisor: it owns the statement window,
@@ -132,6 +156,13 @@ type service struct {
 	// — the test seam for holding a solve in flight.
 	solveHook func(reason string)
 
+	// lineage is the per-solve decision history: ring for GET /solves,
+	// JSONL audit sink when configured. calibMon folds every
+	// calibration run into the streaming error statistics GET
+	// /calibration serves.
+	lineage  *lineage
+	calibMon *calib.Monitor
+
 	// Recovery facts, fixed before serving starts.
 	recoveredSnapSeq uint64
 	recoveredReplay  int
@@ -147,6 +178,7 @@ type service struct {
 	resolves     atomic.Int64
 	solveErrors  atomic.Int64
 	snapErrors   atomic.Int64
+	calibErrors  atomic.Int64
 }
 
 // forcedSolve is the solver goroutine's answer to a POST /solve.
@@ -187,16 +219,22 @@ func newService(adv *advisor.Advisor, cfg serviceConfig) (*service, error) {
 	if err != nil {
 		return nil, err
 	}
+	lin, err := newLineage(cfg.AuditPath)
+	if err != nil {
+		return nil, err
+	}
 	s := &service{
-		adv:     adv,
-		cfg:     cfg,
-		win:     win,
-		memo:    advisor.NewMemo(cfg.MemoCap),
-		cache:   core.NewSolveCache(),
-		trigger: make(chan string, 1),
-		store:   cfg.Store,
-		snapCh:  make(chan struct{}, 1),
-		forceCh: make(chan chan forcedSolve),
+		adv:      adv,
+		cfg:      cfg,
+		win:      win,
+		memo:     advisor.NewMemo(cfg.MemoCap),
+		cache:    core.NewSolveCache(),
+		trigger:  make(chan string, 1),
+		store:    cfg.Store,
+		snapCh:   make(chan struct{}, 1),
+		forceCh:  make(chan chan forcedSolve),
+		lineage:  lin,
+		calibMon: calib.NewMonitor(),
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
@@ -222,6 +260,22 @@ func newService(adv *advisor.Advisor, cfg serviceConfig) (*service, error) {
 	}
 	s.helpGauges()
 	s.publishRecoveryGauges()
+	if g := cfg.Gauges; g != nil {
+		// The age gauge is a function: every scrape recomputes now−publish
+		// without the service having to refresh anything. NaN (suppressed
+		// from the exposition) until the first recommendation lands.
+		g.Func("advisord_recommendation_age_seconds", func() float64 {
+			sn := s.snap.Load()
+			if sn == nil || sn.at.IsZero() {
+				return math.NaN()
+			}
+			return time.Since(sn.at).Seconds()
+		})
+	}
+	if h := cfg.Hists; h != nil {
+		h.Help("advisord_ingest_seconds", "POST /ingest handler latency, including WAL append and drift-alerter observation.")
+		h.Help("advisord_solve_seconds", "Window re-solve latency (solver only; explain, publish, and calibration excluded).")
+	}
 	return s, nil
 }
 
@@ -368,17 +422,28 @@ func (s *service) writeDurableSnapshot() {
 // Callers must wait for run() to return first — that ordering is what
 // guarantees the final snapshot never races a publishing solve.
 func (s *service) close() error {
-	if s.store == nil {
-		return nil
+	var first error
+	if s.store != nil {
+		s.writeDurableSnapshot()
+		first = s.store.Close()
 	}
-	s.writeDurableSnapshot()
-	return s.store.Close()
+	if err := s.lineage.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // solveOnce snapshots the window, re-solves it warm-started from the
 // retained memo, solve cache, and last-known-good solution, and
 // publishes the new recommendation snapshot. It must only be called
 // from the solver goroutine (or a test standing in for it).
+//
+// Every attempt — including failed ones — leaves a lineage record
+// correlating the trigger, the stream slice consumed, the WAL cursor,
+// the answering ladder rung, cache warmth, and (when enabled) the
+// calibration of the cost model that justified the answer. Calibration
+// runs strictly AFTER publication: the fresh recommendation is already
+// serving while its replay measures the engine.
 func (s *service) solveOnce(ctx context.Context, reason string) (*advisor.Recommendation, error) {
 	if s.solveHook != nil {
 		s.solveHook(reason)
@@ -386,6 +451,11 @@ func (s *service) solveOnce(ctx context.Context, reason string) (*advisor.Recomm
 	s.mu.Lock()
 	w := s.win.Snapshot()
 	seq := s.win.Seq()
+	total := s.win.Total()
+	var walSeq uint64
+	if s.store != nil {
+		walSeq = s.store.LastSeq()
+	}
 	if s.cfg.Tumbling && s.win.Len() > 0 {
 		// The epoch boundary is logged BEFORE the in-memory reset: if we
 		// die between the two, replay resets a window the service never
@@ -402,6 +472,37 @@ func (s *service) solveOnce(ctx context.Context, reason string) (*advisor.Recomm
 	s.mu.Unlock()
 	if w.Len() == 0 {
 		return nil, nil
+	}
+	id := s.lineage.nextSolveID()
+	sp := s.cfg.Tracer.Start("advisord.solve")
+	lrec := solveRecord{
+		SolveID:     id,
+		Reason:      reason,
+		SolvedAt:    time.Now().UTC(),
+		Window:      w.Name,
+		WindowSeq:   seq,
+		WindowStart: total - int64(w.Len()),
+		WindowEnd:   total,
+		WALLastSeq:  walSeq,
+		DriftAlerts: s.driftAlerts.Load(),
+		Strategy:    string(s.cfg.Strategy),
+		K:           s.cfg.K,
+	}
+	finish := func(err error) {
+		if err != nil {
+			lrec.Error = err.Error()
+		}
+		s.lineage.record(lrec)
+		sp.End(
+			obs.Int("solve_id", int64(id)),
+			obs.String("reason", reason),
+			obs.String("rung", lrec.Rung),
+			obs.Bool("degraded", lrec.Degraded),
+			obs.Float("cost", lrec.Cost),
+			obs.Float("gap", lrec.Gap),
+			obs.Int("window_end", lrec.WindowEnd),
+			obs.Bool("err", err != nil),
+		)
 	}
 	opts := advisor.Options{
 		K:           s.cfg.K,
@@ -421,11 +522,26 @@ func (s *service) solveOnce(ctx context.Context, reason string) (*advisor.Recomm
 	start := time.Now()
 	rec, err := s.adv.RecommendContext(ctx, w, opts)
 	elapsed := time.Since(start)
+	lrec.SolveMillis = float64(elapsed.Microseconds()) / 1000
+	s.cfg.Hists.Observe("advisord_solve_seconds", elapsed)
 	if err != nil {
 		s.solveErrors.Add(1)
 		s.publishGauges(nil, elapsed)
+		finish(err)
 		return rec, err
 	}
+	lrec.Rung = string(rec.Rung)
+	lrec.Degraded = rec.Degraded
+	lrec.Cost = rec.Solution.Cost
+	lrec.ExecCost = rec.Solution.ExecCost
+	lrec.TransCost = rec.Solution.TransCost
+	lrec.Changes = rec.Solution.Changes
+	lrec.Gap = rec.Gap
+	lrec.WhatIfCalls = rec.Stats.WhatIfCalls
+	lrec.MemoHitRate = rec.Stats.HitRate()
+	lrec.MatrixBuilds = rec.MatrixBuilds
+	lrec.MatrixReuses = rec.MatrixReuses
+	lrec.LatticeOverflows = rec.LatticeOverflows
 	var expl *explain.Explanation
 	if s.cfg.Explain {
 		// Attribution only: the sweep and the audit re-solve the
@@ -438,19 +554,39 @@ func (s *service) solveOnce(ctx context.Context, reason string) (*advisor.Recomm
 	body, err := json.Marshal(buildResponse(rec, expl, reason, seq, elapsed))
 	if err != nil {
 		s.solveErrors.Add(1)
+		finish(err)
 		return rec, err
 	}
 	s.lkg = rec.Solution
 	s.installed = rec.Solution.Designs[len(rec.Solution.Designs)-1]
 	if err := s.stream.SetCurrent(s.installed); err != nil {
+		finish(err)
 		return rec, err
 	}
-	s.snap.Store(&snapshot{seq: seq, body: body})
+	s.snap.Store(&snapshot{seq: seq, body: body, at: time.Now()})
 	s.resolves.Add(1)
 	// Persist the new design chain immediately: the installed config is
 	// the next solve's C0, so losing it would change every later answer.
 	s.writeDurableSnapshot()
 	s.publishGauges(rec, elapsed)
+	if s.cfg.CalibSamples > 0 {
+		// Vary the sampling by solve id (deterministically) so
+		// consecutive solves over a slow-moving window don't measure the
+		// same statements — the drift trend needs fresh draws.
+		crep, cerr := s.adv.Calibrate(rec, advisor.CalibrateOptions{
+			Samples: s.cfg.CalibSamples,
+			Seed:    s.cfg.CalibSeed + int64(id),
+			Monitor: s.calibMon,
+		})
+		if cerr != nil {
+			s.calibErrors.Add(1)
+			fmt.Fprintf(os.Stderr, "advisord: calibration after solve %d failed: %v\n", id, cerr)
+		} else {
+			lrec.Calibration = summarizeCalibration(crep)
+		}
+		s.publishCalibGauges()
+	}
+	finish(nil)
 	return rec, nil
 }
 
@@ -482,6 +618,8 @@ func (s *service) mux() *http.ServeMux {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/recommendation", s.handleRecommendation)
+	mux.HandleFunc("/solves", s.handleSolves)
+	mux.HandleFunc("/calibration", s.handleCalibration)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -511,6 +649,8 @@ func (s *service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	start := time.Now()
+	defer func() { s.cfg.Hists.Observe("advisord_ingest_seconds", time.Since(start)) }()
 	if s.inflight != nil {
 		select {
 		case s.inflight <- struct{}{}:
@@ -654,6 +794,54 @@ func (s *service) handleRecommendation(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(snap.body)
+}
+
+// solvesResponse is the GET /solves body: the retained decision lineage,
+// newest first. The JSONL audit file (when a data dir is configured)
+// holds the complete history beyond the ring.
+type solvesResponse struct {
+	Count       int           `json:"count"`
+	AuditErrors int64         `json:"audit_errors,omitempty"`
+	Solves      []solveRecord `json:"solves"`
+}
+
+// handleSolves serves the per-solve lineage ring.
+func (s *service) handleSolves(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	recs, auditErrs := s.lineage.list()
+	writeJSON(w, http.StatusOK, solvesResponse{Count: len(recs), AuditErrors: auditErrs, Solves: recs})
+}
+
+// calibrationResponse is the GET /calibration body: the monitor's
+// streaming error statistics over every calibration run so far.
+type calibrationResponse struct {
+	// Enabled is false when the service was started without calibration
+	// (-calib-samples 0); the report is then all zeros.
+	Enabled bool `json:"enabled"`
+	// SamplesPerSolve is the configured replay budget per published solve.
+	SamplesPerSolve int `json:"samples_per_solve"`
+	// CalibrationErrors counts replay runs that failed outright.
+	CalibrationErrors int64 `json:"calibration_errors"`
+	// Report is the streaming aggregate: overall and per-class /
+	// per-structure error statistics plus the drift-over-windows trend.
+	Report calib.Report `json:"report"`
+}
+
+// handleCalibration serves the cost-model calibration report.
+func (s *service) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, calibrationResponse{
+		Enabled:           s.cfg.CalibSamples > 0,
+		SamplesPerSolve:   s.cfg.CalibSamples,
+		CalibrationErrors: s.calibErrors.Load(),
+		Report:            s.calibMon.Report(),
+	})
 }
 
 // healthzResponse is the GET /healthz body; the smoke test asserts the
@@ -883,7 +1071,7 @@ func (s *service) helpGauges() {
 	g.Help("advisord_drift_alerts_total", "Drift alerts raised by the workload alerter.")
 	g.Help("advisord_resolves_total", "Window re-solves that published a recommendation.")
 	g.Help("advisord_solve_errors_total", "Window re-solves that failed.")
-	g.Help("advisord_solve_seconds", "Wall-clock duration of the last re-solve.")
+	g.Help("advisord_last_solve_seconds", "Wall-clock duration of the last re-solve (the advisord_solve_seconds histogram has the distribution).")
 	g.Help("advisord_solve_cost", "Objective cost of the last published recommendation.")
 	g.Help("advisord_solve_gap", "Anytime optimality gap of the last recommendation (0 = proven optimal).")
 	g.Help("advisord_memo_entries", "Current occupancy of the retained what-if memo.")
@@ -903,6 +1091,15 @@ func (s *service) helpGauges() {
 	g.Help("advisord_recovery_truncated_bytes", "Torn-tail bytes truncated from the WAL at startup.")
 	g.Help("advisord_recovery_snapshot_seq", "WAL sequence of the snapshot recovery started from.")
 	g.Help("advisord_recovery_world_mismatch", "1 when recovery dropped cost-derived state because table statistics changed.")
+	g.Help("advisord_recommendation_age_seconds", "Seconds since the current recommendation was published (absent before the first solve).")
+	g.Help("advisord_calib_runs_total", "Calibration replay runs folded into the monitor.")
+	g.Help("advisord_calib_samples_total", "Estimate/measurement pairs collected across all calibration runs.")
+	g.Help("advisord_calib_skipped_dml_total", "Statements excluded from calibration because replaying them would mutate the database.")
+	g.Help("advisord_calib_errors_total", "Calibration replay runs that failed outright.")
+	g.Help("advisord_calib_median_abs_ratio", "Streaming median of the absolute estimate/measurement ratio max(r, 1/r); 1.0 = perfectly calibrated.")
+	g.Help("advisord_calib_p90_abs_ratio", "Streaming 90th percentile of the absolute estimate/measurement ratio.")
+	g.Help("advisord_calib_mean_signed_log2", "Mean signed error in doublings; positive = the cost model underestimates.")
+	g.Help("advisord_calib_trend", "Drift of per-run median absolute error (doublings) between older and newer calibration runs; positive = the model is getting worse.")
 }
 
 // publishRecoveryGauges exports the startup recovery facts once.
@@ -961,7 +1158,7 @@ func (s *service) publishGauges(rec *advisor.Recommendation, elapsed time.Durati
 	}
 	g.Set("advisord_resolves_total", float64(s.resolves.Load()))
 	g.Set("advisord_solve_errors_total", float64(s.solveErrors.Load()))
-	g.Set("advisord_solve_seconds", elapsed.Seconds())
+	g.Set("advisord_last_solve_seconds", elapsed.Seconds())
 	if rec != nil && rec.Solution != nil {
 		g.Set("advisord_solve_cost", rec.Solution.Cost)
 		g.Set("advisord_solve_gap", rec.Gap)
@@ -972,4 +1169,22 @@ func (s *service) publishGauges(rec *advisor.Recommendation, elapsed time.Durati
 	g.Set("advisord_memo_evictions_total", float64(ms.Evictions))
 	g.Set("advisord_memo_invalidations_total", float64(ms.Invalidations))
 	s.publishDurableGauges()
+}
+
+// publishCalibGauges exports the monitor's streaming calibration
+// statistics after each replay run.
+func (s *service) publishCalibGauges() {
+	g := s.cfg.Gauges
+	if g == nil {
+		return
+	}
+	rep := s.calibMon.Report()
+	g.Set("advisord_calib_runs_total", float64(rep.Runs))
+	g.Set("advisord_calib_samples_total", float64(rep.Samples))
+	g.Set("advisord_calib_skipped_dml_total", float64(rep.SkippedDML))
+	g.Set("advisord_calib_errors_total", float64(s.calibErrors.Load()))
+	g.Set("advisord_calib_median_abs_ratio", rep.MedianAbsRatio)
+	g.Set("advisord_calib_p90_abs_ratio", rep.P90AbsRatio)
+	g.Set("advisord_calib_mean_signed_log2", rep.MeanSignedLog2)
+	g.Set("advisord_calib_trend", rep.Trend)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -9,6 +10,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +22,7 @@ import (
 	"dyndesign/internal/core"
 	"dyndesign/internal/durable"
 	"dyndesign/internal/experiments"
+	"dyndesign/internal/obs"
 	"dyndesign/internal/workload"
 )
 
@@ -90,6 +94,48 @@ func postIngest(t *testing.T, client *http.Client, url string, batch []ingestSta
 	return out
 }
 
+// readAuditRecords parses the solve audit JSONL, failing on any line
+// that does not decode as a solveRecord.
+func readAuditRecords(t *testing.T, path string) []solveRecord {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening solve audit log: %v", err)
+	}
+	defer f.Close()
+	var out []solveRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec solveRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("audit line %d does not parse: %v\n%s", len(out)+1, err, sc.Text())
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// promLine matches one Prometheus text-exposition sample, with
+// escaped-quote-aware label values.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*",?)*\})? [^ ]+$`)
+
+// assertPrometheusParses fails if any non-comment line of a text
+// exposition is not a well-formed sample.
+func assertPrometheusParses(t *testing.T, text string) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+	}
+}
+
 func getHealthz(t *testing.T, client *http.Client, url string) healthzResponse {
 	t.Helper()
 	resp, err := client.Get(url + "/healthz")
@@ -115,16 +161,23 @@ func TestAdvisordSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	gauges := obs.NewGaugeSet()
+	hists := obs.NewHistogramSet()
 	svc, err := newService(adv, serviceConfig{
-		WindowCap:   100,
-		MinSolve:    40,
-		K:           2,
-		SegmentSize: 5,
-		Timeout:     30 * time.Second,
-		Fallback:    true,
-		Explain:     true,
-		Store:       store,
-		Alerter:     alerter.Options{WindowSize: 60, CheckEvery: 20},
+		WindowCap:    100,
+		MinSolve:     40,
+		K:            2,
+		SegmentSize:  5,
+		Timeout:      30 * time.Second,
+		Fallback:     true,
+		Explain:      true,
+		CalibSamples: 8,
+		CalibSeed:    1,
+		AuditPath:    filepath.Join(dataDir, "solves.jsonl"),
+		Store:        store,
+		Alerter:      alerter.Options{WindowSize: 60, CheckEvery: 20},
+		Gauges:       gauges,
+		Hists:        hists,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -211,6 +264,129 @@ func TestAdvisordSmoke(t *testing.T) {
 	}
 	if rec.Explanation == nil || len(rec.Explanation.Transitions) == 0 {
 		t.Fatal("recommendation carries no provenance")
+	}
+
+	// Calibration runs on the solver goroutine strictly after each
+	// publish, so the report can lag the resolve counter; wait for the
+	// monitor to fold in at least one replay and the lineage ring to
+	// carry both solves.
+	var cal calibrationResponse
+	var solves solvesResponse
+	for {
+		resp, err := client.Get(ts.URL + "/calibration")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&cal)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding /calibration: %v", err)
+		}
+		resp, err = client.Get(ts.URL + "/solves")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&solves)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding /solves: %v", err)
+		}
+		if cal.Report.Runs >= 1 && solves.Count >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("calibration/lineage never landed: %+v / %+v", cal, solves)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !cal.Enabled || cal.Report.Samples == 0 {
+		t.Fatalf("implausible calibration report: %+v", cal)
+	}
+	if cal.Report.MedianAbsRatio < 1 {
+		t.Fatalf("absolute error ratio below 1 is impossible: %+v", cal.Report)
+	}
+	if cal.CalibrationErrors != 0 {
+		t.Fatalf("calibration replays failed: %+v", cal)
+	}
+
+	// Lineage: newest-first records correlating trigger, window slice,
+	// WAL cursor, answering rung, and calibration summary.
+	newest := solves.Solves[0]
+	if newest.SolveID == 0 || newest.Rung == "" || newest.WindowEnd == 0 {
+		t.Fatalf("implausible lineage record: %+v", newest)
+	}
+	if newest.WindowStart >= newest.WindowEnd {
+		t.Fatalf("lineage window range [%d, %d) is empty", newest.WindowStart, newest.WindowEnd)
+	}
+	if newest.WALLastSeq == 0 {
+		t.Fatalf("lineage record lost the WAL cursor: %+v", newest)
+	}
+	hasDrift, hasCalib := false, false
+	for _, r := range solves.Solves {
+		if r.Reason == "drift" {
+			hasDrift = true
+		}
+		if r.Calibration != nil && r.Calibration.Samples > 0 {
+			hasCalib = true
+		}
+	}
+	if !hasDrift {
+		t.Fatalf("no lineage record names the drift trigger: %+v", solves.Solves)
+	}
+	if !hasCalib {
+		t.Fatalf("no lineage record carries a calibration summary: %+v", solves.Solves)
+	}
+
+	// The durable audit log mirrors the ring: one parseable JSON line
+	// per solve attempt.
+	auditLines := readAuditRecords(t, filepath.Join(dataDir, "solves.jsonl"))
+	if len(auditLines) < solves.Count {
+		t.Fatalf("audit log has %d records, ring has %d", len(auditLines), solves.Count)
+	}
+
+	// The metrics exposition — the exact bytes /metrics serves for these
+	// registries — must parse, with the calibration and latency families
+	// populated.
+	var mbuf bytes.Buffer
+	if err := hists.WritePrometheus(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := gauges.WritePrometheus(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	metricsText := mbuf.String()
+	assertPrometheusParses(t, metricsText)
+	for _, family := range []string{
+		"advisord_calib_runs_total",
+		"advisord_calib_median_abs_ratio",
+		"advisord_calib_trend",
+		"advisord_recommendation_age_seconds",
+		"advisord_last_solve_seconds",
+		"advisord_solve_seconds_bucket",
+		"advisord_ingest_seconds_bucket",
+	} {
+		if !strings.Contains(metricsText, family) {
+			t.Errorf("metrics exposition missing %s:\n%s", family, metricsText)
+		}
+	}
+	if hists.Count("advisord_solve_seconds") < 2 || hists.Count("advisord_ingest_seconds") == 0 {
+		t.Fatalf("latency histograms not populated: solve %d ingest %d",
+			hists.Count("advisord_solve_seconds"), hists.Count("advisord_ingest_seconds"))
+	}
+
+	// Persist the calibration report for CI artifact upload, mirroring
+	// the crash harness's ADVISORD_CRASH_ARTIFACTS convention.
+	if dir := os.Getenv("ADVISORD_CALIB_ARTIFACTS"); dir != "" {
+		_ = os.MkdirAll(dir, 0o755)
+		buf, err := json.MarshalIndent(cal, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "calibration.json")
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatalf("writing calibration artifact: %v", err)
+		}
+		t.Logf("calibration artifact: %s", path)
 	}
 
 	// Bad statements are rejected atomically with a 400.

@@ -23,6 +23,12 @@
 // or SIGTERM cancels the solve; an interrupted run still prints the
 // partial robustness diagnostics.
 //
+// -calib N replays N sampled statements against the live engine under
+// the recommended designs and reports how the what-if cost model
+// calibrates against measured page accesses (a summary line in the
+// report; -calib-out writes the full paired samples as JSON). See
+// DESIGN.md §16.
+//
 // The setup script is a sequence of SQL statements (one per line or
 // separated by semicolons at line ends; "--" comments allowed) that
 // creates and fills the tables. -paper-rows replaces the script with the
@@ -90,6 +96,9 @@ func run(ctx context.Context) error {
 	auditTrials := flag.Int("audit-trials", 0, "perturbed replays in the overfitting audit (0 = default 5, negative disables)")
 	auditSeed := flag.Int64("audit-seed", 0, "seed deriving the audit's resampling trials (0 = default 1)")
 	ksweepDelta := flag.Int("ksweep-delta", 0, "sweep the cost-of-constraint curve to k plus this (0 = default 2)")
+	calibSamples := flag.Int("calib", 0, "replay this many sampled statements against the engine to calibrate the cost model (0 = off)")
+	calibSeed := flag.Int64("calib-seed", 1, "seed for the deterministic calibration sampling")
+	calibOut := flag.String("calib-out", "", "write the calibration run report as JSON to this file (implies -calib 16 if -calib is 0)")
 	flag.Parse()
 
 	gauges := obs.NewGaugeSet()
@@ -221,6 +230,12 @@ func run(ctx context.Context) error {
 			AuditSeed:   *auditSeed,
 		}
 	}
+	if *calibOut != "" && *calibSamples <= 0 {
+		*calibSamples = 16
+	}
+	if *calibSamples > 0 {
+		opts.Calibrate = &advisor.CalibrateOptions{Samples: *calibSamples, Seed: *calibSeed}
+	}
 
 	adv, err := advisor.New(db, spaceDef)
 	if err != nil {
@@ -248,6 +263,16 @@ func run(ctx context.Context) error {
 			}
 			fmt.Fprintf(os.Stderr, "dyndesign: explanation written to %s\n", *explainOut)
 		}
+	}
+	if rec.Calibration != nil && *calibOut != "" {
+		buf, err := json.MarshalIndent(rec.Calibration, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*calibOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dyndesign: calibration report written to %s\n", *calibOut)
 	}
 	if *timeline != 0 {
 		fmt.Println()

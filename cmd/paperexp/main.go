@@ -281,6 +281,16 @@ func main() {
 		}
 		if !asJSON {
 			estimate.Render(os.Stdout)
+			fmt.Println()
+		}
+		calibration, err := experiments.RunCalibration(ctx, t2, 64)
+		if err != nil {
+			fail(err)
+		}
+		if asJSON {
+			report.Calibration = calibration
+		} else {
+			calibration.Render(os.Stdout)
 		}
 	}
 	if asJSON {

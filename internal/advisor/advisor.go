@@ -140,6 +140,14 @@ type Options struct {
 	// audit (see internal/explain and DESIGN.md §10). Equivalent to
 	// calling Advisor.Explain afterwards.
 	Explain *ExplainOptions
+
+	// Calibrate, when non-nil, replays a deterministic sample of the
+	// workload on the live engine after a successful solve and attaches
+	// the measured-vs-estimated calibration run report (see
+	// internal/calib and DESIGN.md §16). Equivalent to calling
+	// Advisor.Calibrate afterwards; the nil default adds nothing to the
+	// solve path.
+	Calibrate *CalibrateOptions
 }
 
 // resilient reports whether the options ask for the supervised solve
@@ -600,6 +608,11 @@ func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload, op
 	if opts.Explain != nil {
 		if _, err := a.Explain(ctx, rec, *opts.Explain); err != nil {
 			return rec, fmt.Errorf("advisor: explaining recommendation: %w", err)
+		}
+	}
+	if opts.Calibrate != nil {
+		if _, err := a.Calibrate(rec, *opts.Calibrate); err != nil {
+			return rec, fmt.Errorf("advisor: calibrating recommendation: %w", err)
 		}
 	}
 	return rec, nil

@@ -1,0 +1,76 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"dyndesign/internal/calib"
+)
+
+// TestSolveHotPathZeroAllocWithCalibrationDisabled pins the acceptance
+// guarantee that leaving Options.Calibrate nil adds nothing to the
+// solve hot path: a memoized EXEC evaluation — the operation the
+// solvers issue millions of times — performs zero heap allocations,
+// matching the disabled-tracer guarantee. Calibration runs strictly
+// after the solve, so the only way it could tax this path is by
+// touching the model; this test proves it does not.
+func TestSolveHotPathZeroAllocWithCalibrationDisabled(t *testing.T) {
+	_, adv := testAdvisor(t)
+	w := testWorkload(t).Slice(0, 40)
+	opts := paperOpts(2) // Calibrate deliberately nil
+	p, _, err := adv.Problem(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := p.Model
+	// Warm the memo so the measured path is the steady-state hit path.
+	for stage := 0; stage < p.Stages; stage++ {
+		for _, c := range p.Configs {
+			model.Exec(stage, c)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, c := range p.Configs {
+			model.Exec(0, c)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("memoized EXEC with calibration disabled allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestCalibrateRequiresSolution pins the error contract on partial
+// recommendations.
+func TestCalibrateRequiresSolution(t *testing.T) {
+	_, adv := testAdvisor(t)
+	if _, err := adv.Calibrate(nil, CalibrateOptions{}); err == nil {
+		t.Error("Calibrate(nil) did not error")
+	}
+	if _, err := adv.Calibrate(&Recommendation{}, CalibrateOptions{}); err == nil {
+		t.Error("Calibrate on a solution-less recommendation did not error")
+	}
+}
+
+// TestRenderIncludesCalibration pins that a calibrated recommendation
+// renders its calibration line.
+func TestRenderIncludesCalibration(t *testing.T) {
+	_, adv := testAdvisor(t)
+	w := testWorkload(t).Slice(0, 30)
+	rec, err := adv.Recommend(w, Options{K: 1, Calibrate: &CalibrateOptions{Samples: 8, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Calibration == nil || len(rec.Calibration.Samples) == 0 {
+		t.Fatalf("calibration not attached: %+v", rec.Calibration)
+	}
+	var sb strings.Builder
+	rec.Render(&sb)
+	if !strings.Contains(sb.String(), "calibration:") {
+		t.Errorf("render missing calibration line:\n%s", sb.String())
+	}
+	// The monitor hook is optional; a nil monitor must not be required.
+	var mon *calib.Monitor
+	if _, err := adv.Calibrate(rec, CalibrateOptions{Samples: 4, Seed: 1, Monitor: mon}); err != nil {
+		t.Errorf("Calibrate with nil monitor: %v", err)
+	}
+}

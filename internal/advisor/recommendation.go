@@ -3,9 +3,11 @@ package advisor
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 
+	"dyndesign/internal/calib"
 	"dyndesign/internal/catalog"
 	"dyndesign/internal/core"
 	"dyndesign/internal/explain"
@@ -68,6 +70,10 @@ type Recommendation struct {
 	// the overfitting audit. Populated by Advisor.Explain (or
 	// automatically when Options.Explain is set); nil otherwise.
 	Explanation *explain.Explanation
+	// Calibration is the measured-vs-estimated replay report of this
+	// recommendation. Populated by Advisor.Calibrate (or automatically
+	// when Options.Calibrate is set); nil otherwise.
+	Calibration *calib.RunReport
 
 	// opts remembers the options the recommendation was solved under so
 	// Explain can re-assemble identically-shaped problems for perturbed
@@ -257,6 +263,12 @@ func (r *Recommendation) Render(w io.Writer) {
 				fmt.Fprintf(w, "             %s\n", ddl)
 			}
 		}
+	}
+	if r.Calibration != nil {
+		c := r.Calibration
+		fmt.Fprintf(w, "  calibration: %d sampled (%d DML skipped, %d errors)   median abs ratio %.2fx   bias %+.0f%%\n",
+			len(c.Samples), c.SkippedDML, c.Errors,
+			c.MedianAbsRatio(), 100*(math.Exp2(c.MeanSignedLog2())-1))
 	}
 	if r.Explanation != nil {
 		r.Explanation.Render(w)

@@ -1,0 +1,338 @@
+// Package calib continuously measures how well the advisor's what-if
+// cost model tracks the engine's ground truth. It replays statements
+// against the live engine under a given physical design, captures the
+// logical page accesses each statement alone performed (the scoped
+// engine.MeasureStmt delta), pairs them with the model's EXEC
+// estimates, and maintains streaming error statistics: signed error
+// per statement class and per access structure, absolute-ratio
+// quantiles on a log2-derived histogram, and an error trend over
+// recent runs. It is the measurement substrate the regret-safe bandit
+// mode plugs into — before an online policy can hedge against model
+// error, the error has to be an always-on observable.
+package calib
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// clampPages floors a page count at one page for ratio purposes: both
+// the engine counter and the model charge at least one page for any
+// statement that touches data, and a zero on either side would turn
+// the ratio into an infinity that says "degenerate sample", not
+// "miscalibrated model".
+func clampPages(v float64) float64 {
+	if v < 1 || math.IsNaN(v) {
+		return 1
+	}
+	return v
+}
+
+// Sample is one paired observation: what the model predicted for a
+// statement under a configuration, and what the engine measured when
+// the statement actually ran under that configuration.
+type Sample struct {
+	// Class buckets the statement for per-class error stats; the
+	// replayer uses the statement kind plus the queried column (e.g.
+	// "select(a)"), matching the paper's single-column query mixes.
+	Class string `json:"class"`
+	// Structure names the access structure the measured plan used
+	// ("heap" for a heap scan, the index name otherwise).
+	Structure string `json:"structure"`
+	// Estimated is the what-if EXEC estimate in pages.
+	Estimated float64 `json:"estimated"`
+	// Measured is the engine's logical page-access delta.
+	Measured float64 `json:"measured"`
+}
+
+// signedLog2 is the sample's signed error in doublings:
+// log2(measured/estimated) after page clamping. Positive means the
+// model underestimates; negative means it overestimates.
+func (s Sample) signedLog2() float64 {
+	return math.Log2(clampPages(s.Measured) / clampPages(s.Estimated))
+}
+
+// absRatio is the symmetric error magnitude max(r, 1/r) >= 1 where
+// r = measured/estimated; 1 is a perfect estimate.
+func (s Sample) absRatio() float64 {
+	r := clampPages(s.Measured) / clampPages(s.Estimated)
+	if r < 1 {
+		return 1 / r
+	}
+	return r
+}
+
+// ratioBuckets is the resolution of the absolute-ratio histogram:
+// quarter-log2 steps (the obs.Aggregator's log2 bucketing at 4×
+// resolution), so bucket i covers [2^(i/4), 2^((i+1)/4)). 64 buckets
+// reach ratios of 2^16 — beyond that everything is equally broken.
+const ratioBuckets = 64
+
+// ratioHist is a streaming histogram over absolute error ratios.
+type ratioHist struct {
+	count   int64
+	buckets [ratioBuckets]int64
+	max     float64
+}
+
+func ratioBucket(r float64) int {
+	if r < 1 {
+		r = 1
+	}
+	i := int(4 * math.Log2(r))
+	if i < 0 {
+		i = 0
+	}
+	if i >= ratioBuckets {
+		i = ratioBuckets - 1
+	}
+	return i
+}
+
+func (h *ratioHist) observe(r float64) {
+	h.count++
+	h.buckets[ratioBucket(r)]++
+	if r > h.max {
+		h.max = r
+	}
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of the observed ratios,
+// interpolated geometrically within the containing bucket; 0 with no
+// observations. The answer is exact to within one quarter-log2 step.
+func (h *ratioHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	cum := 0.0
+	for i, b := range h.buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if next >= target {
+			frac := (target - cum) / float64(b)
+			return math.Exp2((float64(i) + frac) / 4)
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// groupStat is the streaming state behind one per-class or
+// per-structure entry.
+type groupStat struct {
+	samples    int64
+	sumSigned  float64
+	sumAbsLog2 float64
+	hist       ratioHist
+}
+
+func (g *groupStat) observe(s Sample) {
+	g.samples++
+	sl := s.signedLog2()
+	g.sumSigned += sl
+	g.sumAbsLog2 += math.Abs(sl)
+	g.hist.observe(s.absRatio())
+}
+
+// GroupStats is the exported error summary of one statement class or
+// one access structure.
+type GroupStats struct {
+	// Samples is the number of paired observations.
+	Samples int64 `json:"samples"`
+	// MeanSignedLog2 is the mean signed error in doublings — the bias:
+	// positive when the model underestimates this group.
+	MeanSignedLog2 float64 `json:"mean_signed_log2"`
+	// MedianAbsRatio is the median of max(r, 1/r).
+	MedianAbsRatio float64 `json:"median_abs_ratio"`
+	// P90AbsRatio is the 90th percentile of max(r, 1/r).
+	P90AbsRatio float64 `json:"p90_abs_ratio"`
+}
+
+func (g *groupStat) export() GroupStats {
+	return GroupStats{
+		Samples:        g.samples,
+		MeanSignedLog2: g.sumSigned / float64(g.samples),
+		MedianAbsRatio: g.hist.quantile(0.5),
+		P90AbsRatio:    g.hist.quantile(0.9),
+	}
+}
+
+// trendRuns bounds the per-run history the drift trend is computed
+// over; older run summaries are discarded.
+const trendRuns = 64
+
+// runPoint is the retained summary of one calibration run.
+type runPoint struct {
+	medianAbsLog2 float64
+	samples       int
+}
+
+// Monitor accumulates calibration samples across runs. A nil Monitor
+// drops every call, so observation sites stay unconditional — the
+// disabled state adds no work and no allocations to the paths that
+// would feed it. Safe for concurrent use.
+type Monitor struct {
+	mu           sync.Mutex
+	samples      int64
+	skippedDML   int64
+	runs         int64
+	sumSigned    float64
+	hist         ratioHist
+	perClass     map[string]*groupStat
+	perStructure map[string]*groupStat
+	recent       []runPoint // ring of the last trendRuns run summaries
+}
+
+// NewMonitor builds an empty calibration monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		perClass:     make(map[string]*groupStat),
+		perStructure: make(map[string]*groupStat),
+	}
+}
+
+// Observe folds one paired sample into the streaming statistics.
+func (m *Monitor) Observe(s Sample) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.observeLocked(s)
+	m.mu.Unlock()
+}
+
+func (m *Monitor) observeLocked(s Sample) {
+	m.samples++
+	m.sumSigned += s.signedLog2()
+	m.hist.observe(s.absRatio())
+	groupObserve(m.perClass, s.Class, s)
+	groupObserve(m.perStructure, s.Structure, s)
+}
+
+func groupObserve(byKey map[string]*groupStat, key string, s Sample) {
+	if key == "" {
+		return
+	}
+	g := byKey[key]
+	if g == nil {
+		g = &groupStat{}
+		byKey[key] = g
+	}
+	g.observe(s)
+}
+
+// ObserveRun folds a whole replay run into the monitor: every sample,
+// the skipped-DML count, and one entry in the trend ring.
+func (m *Monitor) ObserveRun(r *RunReport) {
+	if m == nil || r == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range r.Samples {
+		m.observeLocked(s)
+	}
+	m.skippedDML += int64(r.SkippedDML)
+	m.runs++
+	if len(r.Samples) > 0 {
+		abs := make([]float64, len(r.Samples))
+		for i, s := range r.Samples {
+			abs[i] = math.Abs(s.signedLog2())
+		}
+		sort.Float64s(abs)
+		m.recent = append(m.recent, runPoint{
+			medianAbsLog2: abs[len(abs)/2],
+			samples:       len(r.Samples),
+		})
+		if len(m.recent) > trendRuns {
+			m.recent = m.recent[len(m.recent)-trendRuns:]
+		}
+	}
+}
+
+// Report is the exported calibration state, JSON-shaped for the
+// advisord /calibration endpoint and the experiment report.
+type Report struct {
+	// Samples is the total paired observations across all runs.
+	Samples int64 `json:"samples"`
+	// Runs is the number of replay runs folded in.
+	Runs int64 `json:"runs"`
+	// SkippedDML counts workload statements calibration refused to
+	// replay because executing them would mutate the database.
+	SkippedDML int64 `json:"skipped_dml"`
+	// MeanSignedLog2 is the overall bias in doublings (positive:
+	// the model underestimates).
+	MeanSignedLog2 float64 `json:"mean_signed_log2"`
+	// MedianAbsRatio / P90AbsRatio / MaxAbsRatio summarize the
+	// distribution of max(r, 1/r); 1 is perfect.
+	MedianAbsRatio float64 `json:"median_abs_ratio"`
+	P90AbsRatio    float64 `json:"p90_abs_ratio"`
+	MaxAbsRatio    float64 `json:"max_abs_ratio"`
+	// Trend is the drift signal over recent runs: mean per-run median
+	// absolute log2 error of the newer half of the run history minus
+	// the older half. Positive means calibration is getting worse —
+	// typically statistics going stale under a shifting table.
+	Trend float64 `json:"trend"`
+	// PerClass and PerStructure break the error down by statement
+	// class and by the access structure the measured plan used.
+	PerClass     map[string]GroupStats `json:"per_class,omitempty"`
+	PerStructure map[string]GroupStats `json:"per_structure,omitempty"`
+}
+
+// Report snapshots the streaming statistics. A nil Monitor reports the
+// zero Report.
+func (m *Monitor) Report() Report {
+	if m == nil {
+		return Report{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := Report{
+		Samples:    m.samples,
+		Runs:       m.runs,
+		SkippedDML: m.skippedDML,
+	}
+	if m.samples > 0 {
+		rep.MeanSignedLog2 = m.sumSigned / float64(m.samples)
+		rep.MedianAbsRatio = m.hist.quantile(0.5)
+		rep.P90AbsRatio = m.hist.quantile(0.9)
+		rep.MaxAbsRatio = m.hist.max
+	}
+	rep.Trend = m.trendLocked()
+	if len(m.perClass) > 0 {
+		rep.PerClass = make(map[string]GroupStats, len(m.perClass))
+		for k, g := range m.perClass {
+			rep.PerClass[k] = g.export()
+		}
+	}
+	if len(m.perStructure) > 0 {
+		rep.PerStructure = make(map[string]GroupStats, len(m.perStructure))
+		for k, g := range m.perStructure {
+			rep.PerStructure[k] = g.export()
+		}
+	}
+	return rep
+}
+
+// trendLocked compares the newer half of the run history against the
+// older half; it needs at least two runs on each side to say anything.
+func (m *Monitor) trendLocked() float64 {
+	n := len(m.recent)
+	if n < 4 {
+		return 0
+	}
+	half := n / 2
+	older, newer := 0.0, 0.0
+	for i, p := range m.recent {
+		if i < half {
+			older += p.medianAbsLog2
+		} else {
+			newer += p.medianAbsLog2
+		}
+	}
+	return newer/float64(n-half) - older/float64(half)
+}

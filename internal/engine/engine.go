@@ -112,6 +112,25 @@ func (db *Database) MustExec(sqlText string) *Result {
 func (db *Database) ExecStmt(stmt sql.Statement) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.execStmtLocked(stmt)
+}
+
+// MeasureStmt executes a parsed statement and returns the logical page
+// accesses it alone performed. The before/after AccessStats snapshots
+// are taken inside the database lock, so concurrent executions can
+// never leak into the delta — this is the scoped capture the
+// calibration layer pairs with what-if estimates. The delta includes
+// everything the statement did (e.g. an index build's writes for
+// CREATE INDEX), matching how AccessStats meters the database.
+func (db *Database) MeasureStmt(stmt sql.Statement) (*Result, storage.AccessSnapshot, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	before := db.access.Snapshot()
+	res, err := db.execStmtLocked(stmt)
+	return res, db.access.Snapshot().Sub(before), err
+}
+
+func (db *Database) execStmtLocked(stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.Explain:
 		td, err := db.table(s.Query.Table)

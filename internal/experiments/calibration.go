@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"dyndesign/internal/advisor"
+	"dyndesign/internal/calib"
+)
+
+// CalibrationResult validates the what-if cost model at statement
+// granularity. EstimateVsMeasured (the ablation above it) compares
+// sequence totals, where per-statement errors can cancel; this pairs
+// each sampled statement's estimate with its own measured page
+// accesses under the recommended design, so bias and spread become
+// visible per statement class and per access structure — the numbers
+// the advisord calibration monitor tracks in production.
+type CalibrationResult struct {
+	// SamplesRequested is the replay budget the run was given.
+	SamplesRequested int `json:"samples_requested"`
+	// Run is the raw replay report: the paired samples plus coverage
+	// accounting.
+	Run *calib.RunReport `json:"run"`
+	// Report is the monitor's aggregate view of the run: bias, ratio
+	// quantiles, and the per-class / per-structure breakdown.
+	Report calib.Report `json:"report"`
+}
+
+// RunCalibration replays a deterministic sample of W1 statements under
+// the constrained Table 2 recommendation and folds the paired
+// estimate/measurement observations through the calibration monitor.
+func RunCalibration(ctx context.Context, t2 *Table2Result, samples int) (_ *CalibrationResult, err error) {
+	end := experimentSpan("calibration")
+	defer func() { end(err == nil) }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mon := calib.NewMonitor()
+	rep, err := t2.Advisor.Calibrate(t2.Constrained, advisor.CalibrateOptions{
+		Samples: samples,
+		Seed:    7,
+		Monitor: mon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CalibrationResult{SamplesRequested: samples, Run: rep, Report: mon.Report()}, nil
+}
+
+// Render prints the calibration summary and breakdowns.
+func (r *CalibrationResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: per-statement cost-model calibration\n\n")
+	fmt.Fprintf(w, "  %d samples (%d DML skipped, %d errors, %d index transitions, %.1f ms)\n",
+		len(r.Run.Samples), r.Run.SkippedDML, r.Run.Errors, r.Run.Transitions,
+		float64(r.Run.Wall.Microseconds())/1000)
+	fmt.Fprintf(w, "  median abs ratio %.2fx   p90 %.2fx   max %.2fx   bias %+.0f%%\n\n",
+		r.Report.MedianAbsRatio, r.Report.P90AbsRatio, r.Report.MaxAbsRatio,
+		100*(math.Exp2(r.Report.MeanSignedLog2)-1))
+	renderGroups(w, "class", r.Report.PerClass)
+	renderGroups(w, "structure", r.Report.PerStructure)
+}
+
+func renderGroups(w io.Writer, dim string, groups map[string]calib.GroupStats) {
+	if len(groups) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "%-16s %8s %12s %12s %8s\n", dim, "samples", "median", "p90", "bias")
+	for _, k := range keys {
+		g := groups[k]
+		fmt.Fprintf(w, "%-16s %8d %11.2fx %11.2fx %+7.0f%%\n",
+			k, g.Samples, g.MedianAbsRatio, g.P90AbsRatio, 100*(math.Exp2(g.MeanSignedLog2)-1))
+	}
+	fmt.Fprintln(w)
+}

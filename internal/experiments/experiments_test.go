@@ -328,6 +328,35 @@ func TestEstimateVsMeasured(t *testing.T) {
 	}
 }
 
+// TestCalibrationExperiment pins the per-statement counterpart of
+// TestEstimateVsMeasured: with fresh statistics, the sampled statements'
+// estimates stay within the same tight band the engine fixture
+// guarantees (heap scans exact, index seeks off by the covering-scan
+// page, i.e. a 1.5x ratio).
+func TestCalibrationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays sampled statements against the engine")
+	}
+	res, err := RunCalibration(bg, getTable2(t), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Run.Samples) == 0 || res.Run.Errors != 0 {
+		t.Fatalf("implausible calibration run: %+v", res.Run)
+	}
+	if m := res.Run.MedianAbsRatio(); m > 1.5 {
+		t.Errorf("fresh-statistics median abs ratio %.2f exceeds 1.5", m)
+	}
+	if len(res.Report.PerClass) == 0 || len(res.Report.PerStructure) == 0 {
+		t.Errorf("report missing breakdowns: %+v", res.Report)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "calibration") || !strings.Contains(sb.String(), "structure") {
+		t.Errorf("render incomplete:\n%s", sb.String())
+	}
+}
+
 // TestExportJSON smoke-tests the machine-readable export.
 func TestExportJSON(t *testing.T) {
 	t2 := getTable2(t)

@@ -31,4 +31,7 @@ type JSONReport struct {
 	// Explanation is the decision provenance of the constrained Table 2
 	// recommendation (paperexp -explain-out).
 	Explanation *explain.Explanation `json:"explanation,omitempty"`
+	// Calibration is the per-statement estimate-vs-measured validation
+	// of the cost model under the constrained recommendation.
+	Calibration *CalibrationResult `json:"calibration,omitempty"`
 }

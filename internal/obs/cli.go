@@ -34,6 +34,10 @@ type CLIConfig struct {
 	// families — the CLIs publish explanation gauges (k-sweep curve,
 	// audit regret) through it.
 	Gauges *GaugeSet
+	// Hists, when non-nil, is rendered on /metrics between the span and
+	// gauge families — explicit latency histograms (advisord's ingest
+	// and solve paths) that share the Aggregator's log2 buckets.
+	Hists *HistogramSet
 	// FlushCtx, when non-nil, arms crash-ordering protection for the
 	// JSONL trace sink: the moment the context is cancelled (the
 	// signal path) a watcher flushes the writer's buffer to disk, so
@@ -104,7 +108,7 @@ func Setup(cfg CLIConfig) (tracer *Tracer, teardown func(), err error) {
 		}
 	}
 	if cfg.MetricsAddr != "" || cfg.PprofAddr != "" {
-		stop, err := StartHTTP(cfg.MetricsAddr, cfg.PprofAddr, agg, cfg.Gauges)
+		stop, err := StartHTTP(cfg.MetricsAddr, cfg.PprofAddr, agg, cfg.Hists, cfg.Gauges)
 		if err != nil {
 			unwind()
 			return nil, nil, err

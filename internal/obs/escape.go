@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// The Prometheus text exposition format has two escaping contexts and
+// neither matches Go's %q: HELP text escapes backslash and newline
+// (quotes stay literal), label values escape backslash, double-quote,
+// and newline — and nothing else, so a tab or non-ASCII byte passes
+// through unmodified where %q would mangle it into \t or \u… escapes
+// scrapers reject.
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+// escapeHelp escapes HELP text per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return helpEscaper.Replace(s)
+}
+
+// escapeLabel escapes a label value per the exposition format. The
+// surrounding quotes are the caller's.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return labelEscaper.Replace(s)
+}
+
+// formatSeconds renders a float seconds value the way the exporters
+// spell bucket bounds: shortest round-trip representation.
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

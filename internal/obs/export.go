@@ -8,7 +8,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"strconv"
 	"time"
 )
 
@@ -24,25 +23,26 @@ func (a *Aggregator) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	for _, st := range snap {
+		span := escapeLabel(st.Name)
 		cum := int64(0)
 		for i := 0; i < HistBuckets-1; i++ {
 			cum += st.Buckets[i]
-			le := strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
-			if _, err := fmt.Fprintf(w, "dyndesign_span_duration_seconds_bucket{span=%q,le=%q} %d\n",
-				st.Name, le, cum); err != nil {
+			le := formatSeconds(BucketBound(i).Seconds())
+			if _, err := fmt.Fprintf(w, "dyndesign_span_duration_seconds_bucket{span=\"%s\",le=\"%s\"} %d\n",
+				span, le, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "dyndesign_span_duration_seconds_bucket{span=%q,le=\"+Inf\"} %d\n",
-			st.Name, st.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "dyndesign_span_duration_seconds_bucket{span=\"%s\",le=\"+Inf\"} %d\n",
+			span, st.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "dyndesign_span_duration_seconds_sum{span=%q} %g\n",
-			st.Name, st.Total.Seconds()); err != nil {
+		if _, err := fmt.Fprintf(w, "dyndesign_span_duration_seconds_sum{span=\"%s\"} %g\n",
+			span, st.Total.Seconds()); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "dyndesign_span_duration_seconds_count{span=%q} %d\n",
-			st.Name, st.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "dyndesign_span_duration_seconds_count{span=\"%s\"} %d\n",
+			span, st.Count); err != nil {
 			return err
 		}
 	}
@@ -52,7 +52,7 @@ func (a *Aggregator) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	for _, st := range snap {
-		if _, err := fmt.Fprintf(w, "dyndesign_spans_total{span=%q} %d\n", st.Name, st.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "dyndesign_spans_total{span=\"%s\"} %d\n", escapeLabel(st.Name), st.Count); err != nil {
 			return err
 		}
 	}
@@ -85,17 +85,18 @@ func (a *Aggregator) Expvar() expvar.Var {
 // MetricsHandler serves the Prometheus text exposition of the
 // aggregator.
 func (a *Aggregator) MetricsHandler() http.Handler {
-	return metricsHandler(a, nil)
+	return metricsHandler(a, nil, nil)
 }
 
 // metricsHandler serves the aggregator's span families followed by the
-// gauge families; either side may be nil.
-func metricsHandler(a *Aggregator, g *GaugeSet) http.Handler {
+// histogram families and the gauge families; any side may be nil.
+func metricsHandler(a *Aggregator, h *HistogramSet, g *GaugeSet) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if a != nil {
 			_ = a.WritePrometheus(w)
 		}
+		_ = h.WritePrometheus(w)
 		_ = g.WritePrometheus(w)
 	})
 }
@@ -114,11 +115,12 @@ func registerPprof(mux *http.ServeMux) {
 // /debug/vars server on metricsAddr (when non-empty) and a /debug/pprof
 // server on pprofAddr (when non-empty). When both addresses are equal
 // one server carries everything. /metrics renders the aggregator's span
-// families followed by the gauge families; either may be nil (a nil agg
-// is replaced by an empty one so the endpoint always parses). Listeners
-// are bound synchronously so a bad address fails here, not in a
-// goroutine; the returned stop function shuts the servers down.
-func StartHTTP(metricsAddr, pprofAddr string, agg *Aggregator, gauges *GaugeSet) (stop func(), err error) {
+// families followed by the histogram and gauge families; any may be nil
+// (a nil agg is replaced by an empty one so the endpoint always
+// parses). Listeners are bound synchronously so a bad address fails
+// here, not in a goroutine; the returned stop function shuts the
+// servers down.
+func StartHTTP(metricsAddr, pprofAddr string, agg *Aggregator, hists *HistogramSet, gauges *GaugeSet) (stop func(), err error) {
 	type bound struct {
 		ln  net.Listener
 		srv *http.Server
@@ -147,7 +149,7 @@ func StartHTTP(metricsAddr, pprofAddr string, agg *Aggregator, gauges *GaugeSet)
 			agg = NewAggregator()
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", metricsHandler(agg, gauges))
+		mux.Handle("/metrics", metricsHandler(agg, hists, gauges))
 		mux.Handle("/debug/vars", expvar.Handler())
 		if pprofAddr == metricsAddr {
 			registerPprof(mux)

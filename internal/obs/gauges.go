@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ type GaugeSet struct {
 	mu     sync.Mutex
 	series map[string]gauge // keyed by name + rendered labels
 	help   map[string]string
+	funcs  map[string]func() float64 // evaluated at scrape time, keyed by name
 }
 
 type gauge struct {
@@ -28,7 +30,11 @@ type gauge struct {
 
 // NewGaugeSet builds an empty gauge registry.
 func NewGaugeSet() *GaugeSet {
-	return &GaugeSet{series: make(map[string]gauge), help: make(map[string]string)}
+	return &GaugeSet{
+		series: make(map[string]gauge),
+		help:   make(map[string]string),
+		funcs:  make(map[string]func() float64),
+	}
 }
 
 // Help sets the HELP text rendered for a gauge family.
@@ -54,13 +60,33 @@ func (g *GaugeSet) Set(name string, value float64, labelPairs ...string) {
 	if len(labelPairs) >= 2 {
 		parts := make([]string, 0, len(labelPairs)/2)
 		for i := 0; i+1 < len(labelPairs); i += 2 {
-			parts = append(parts, fmt.Sprintf("%s=%q", labelPairs[i], labelPairs[i+1]))
+			parts = append(parts, fmt.Sprintf("%s=\"%s\"", labelPairs[i], escapeLabel(labelPairs[i+1])))
 		}
 		sort.Strings(parts)
 		labels = "{" + strings.Join(parts, ",") + "}"
 	}
 	g.mu.Lock()
 	g.series[name+labels] = gauge{name: name, labels: labels, value: value}
+	g.mu.Unlock()
+}
+
+// Func registers a dynamic, label-free gauge evaluated at scrape time —
+// for quantities like the age of the published recommendation, where a
+// Set-at-publish gauge would freeze while the staleness it measures
+// keeps growing. The function must be safe for concurrent calls; it is
+// invoked outside the registry lock, and a NaN return drops the sample
+// from that scrape (the family's HELP/TYPE header is suppressed with
+// it). Registering the same name again replaces the function; a nil
+// GaugeSet drops the registration.
+func (g *GaugeSet) Func(name string, fn func() float64) {
+	if g == nil || fn == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.funcs == nil {
+		g.funcs = make(map[string]func() float64)
+	}
+	g.funcs[name] = fn
 	g.mu.Unlock()
 }
 
@@ -72,7 +98,7 @@ func (g *GaugeSet) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	g.mu.Lock()
-	all := make([]gauge, 0, len(g.series))
+	all := make([]gauge, 0, len(g.series)+len(g.funcs))
 	for _, s := range g.series {
 		all = append(all, s)
 	}
@@ -80,7 +106,19 @@ func (g *GaugeSet) WritePrometheus(w io.Writer) error {
 	for k, v := range g.help {
 		help[k] = v
 	}
+	funcs := make(map[string]func() float64, len(g.funcs))
+	for k, fn := range g.funcs {
+		funcs[k] = fn
+	}
 	g.mu.Unlock()
+	// Dynamic gauges evaluate outside the lock so a slow or re-entrant
+	// function cannot stall concurrent Sets; NaN means "no sample this
+	// scrape".
+	for name, fn := range funcs {
+		if v := fn(); !math.IsNaN(v) {
+			all = append(all, gauge{name: name, value: v})
+		}
+	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].name != all[j].name {
 			return all[i].name < all[j].name
@@ -91,7 +129,7 @@ func (g *GaugeSet) WritePrometheus(w io.Writer) error {
 	for _, s := range all {
 		if s.name != lastFamily {
 			if h := help[s.name]; h != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, h); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(h)); err != nil {
 					return err
 				}
 			}

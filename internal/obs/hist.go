@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HistogramSet is a registry of named duration histograms sharing the
+// Aggregator's log₂ bucket layout (HistBuckets buckets, bucket i
+// bounded by BucketBound(i)). Where the Aggregator derives one
+// histogram family per span name from emitted spans, a HistogramSet
+// holds explicitly observed histograms that render as their own
+// Prometheus families — the advisord hot-path latency metrics
+// (advisord_ingest_seconds, advisord_solve_seconds) instead of only
+// point gauges. Safe for concurrent Observe and WritePrometheus; the
+// nil *HistogramSet drops every call, so observation sites stay
+// unconditional.
+type HistogramSet struct {
+	mu    sync.Mutex
+	hists map[string]*durationHist
+	help  map[string]string
+}
+
+// durationHist is one log₂ duration histogram plus count and sum.
+type durationHist struct {
+	count   int64
+	sum     time.Duration
+	buckets [HistBuckets]int64
+}
+
+// NewHistogramSet builds an empty histogram registry.
+func NewHistogramSet() *HistogramSet {
+	return &HistogramSet{hists: make(map[string]*durationHist), help: make(map[string]string)}
+}
+
+// Help sets the HELP text rendered for a histogram family.
+func (h *HistogramSet) Help(name, help string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.help[name] = help
+	h.mu.Unlock()
+}
+
+// Observe folds one duration into the named histogram, creating it on
+// first use. A nil HistogramSet drops the observation.
+func (h *HistogramSet) Observe(name string, d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	dh := h.hists[name]
+	if dh == nil {
+		dh = &durationHist{}
+		h.hists[name] = dh
+	}
+	dh.count++
+	dh.sum += d
+	dh.buckets[bucketOf(d)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations of the named histogram.
+func (h *HistogramSet) Count(name string) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dh := h.hists[name]
+	if dh == nil {
+		return 0
+	}
+	return dh.count
+}
+
+// WritePrometheus renders every histogram as its own family in the text
+// exposition format, sorted by name so output is stable across calls. A
+// nil HistogramSet writes nothing.
+func (h *HistogramSet) WritePrometheus(w io.Writer) error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.hists))
+	snap := make(map[string]durationHist, len(h.hists))
+	help := make(map[string]string, len(h.help))
+	for name, dh := range h.hists {
+		names = append(names, name)
+		snap[name] = *dh
+	}
+	for k, v := range h.help {
+		help[k] = v
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		dh := snap[name]
+		if ht := help[name]; ht != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(ht)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i := 0; i < HistBuckets-1; i++ {
+			cum += dh.buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+				name, formatSeconds(BucketBound(i).Seconds()), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, dh.count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, dh.sum.Seconds()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, dh.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

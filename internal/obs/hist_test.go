@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// promText matches one exposition line: a comment, or a sample with an
+// optional label set whose values contain no raw newline or unescaped
+// quote. Used by the concurrency tests to assert scrape output stays
+// parseable while writers are racing.
+var promText = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ([0-9.e+-]+|\+Inf|NaN))$`)
+
+func assertParseable(t *testing.T, text string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if !promText.MatchString(line) {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+	}
+}
+
+// TestHistogramSetPrometheusOutput pins the rendered shape of one
+// histogram family: HELP, TYPE, cumulative buckets, +Inf, sum, count.
+func TestHistogramSetPrometheusOutput(t *testing.T) {
+	h := NewHistogramSet()
+	h.Help("advisord_solve_seconds", "Wall time of one advisor solve.")
+	h.Observe("advisord_solve_seconds", 3*time.Microsecond)
+	h.Observe("advisord_solve_seconds", 5*time.Millisecond)
+	var buf bytes.Buffer
+	if err := h.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	assertParseable(t, out)
+	for _, want := range []string{
+		"# HELP advisord_solve_seconds Wall time of one advisor solve.\n",
+		"# TYPE advisord_solve_seconds histogram\n",
+		"advisord_solve_seconds_bucket{le=\"+Inf\"} 2\n",
+		"advisord_solve_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The two observations land in different log2 buckets, so some
+	// bucket strictly between them must hold exactly 1.
+	if !strings.Contains(out, "} 1\n") {
+		t.Errorf("expected an intermediate cumulative bucket of 1:\n%s", out)
+	}
+	if got := h.Count("advisord_solve_seconds"); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := h.Count("nope"); got != 0 {
+		t.Errorf("Count(unknown) = %d, want 0", got)
+	}
+}
+
+// TestHistogramSetNil pins that the disabled (nil) histogram set drops
+// all calls without panicking, matching the GaugeSet contract.
+func TestHistogramSetNil(t *testing.T) {
+	var h *HistogramSet
+	h.Help("x", "y")
+	h.Observe("x", time.Second)
+	if got := h.Count("x"); got != 0 {
+		t.Errorf("nil Count = %d, want 0", got)
+	}
+	var buf bytes.Buffer
+	if err := h.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil WritePrometheus wrote %q, err %v", buf.String(), err)
+	}
+}
+
+// TestGaugeSetFunc pins dynamic gauges: evaluated at scrape time, NaN
+// suppressed, re-registration replaces.
+func TestGaugeSetFunc(t *testing.T) {
+	g := NewGaugeSet()
+	g.Help("age_seconds", "Age of the thing.")
+	val := 1.5
+	g.Func("age_seconds", func() float64 { return val })
+	render := func() string {
+		var buf bytes.Buffer
+		if err := g.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		return buf.String()
+	}
+	if out := render(); !strings.Contains(out, "age_seconds 1.5\n") {
+		t.Errorf("missing func gauge sample:\n%s", out)
+	}
+	val = 2.5
+	if out := render(); !strings.Contains(out, "age_seconds 2.5\n") {
+		t.Errorf("func gauge not re-evaluated:\n%s", out)
+	}
+	val = math.NaN()
+	if out := render(); strings.Contains(out, "age_seconds") {
+		t.Errorf("NaN func gauge should be suppressed entirely:\n%s", out)
+	}
+	// Nil-set and nil-func registrations are dropped silently.
+	var nilG *GaugeSet
+	nilG.Func("x", func() float64 { return 1 })
+	g.Func("x", nil)
+	if out := render(); strings.Contains(out, "\nx ") {
+		t.Errorf("nil func registered:\n%s", out)
+	}
+}
+
+// TestPrometheusEscaping pins the exposition-format escaping rules on
+// both exporters: label values escape backslash, quote, and newline;
+// HELP escapes backslash and newline but leaves quotes literal.
+func TestPrometheusEscaping(t *testing.T) {
+	g := NewGaugeSet()
+	g.Help("weird", "line one\nline \\two \"quoted\"")
+	g.Set("weird", 1, "path", "C:\\tmp\n\"x\"")
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	assertParseable(t, out)
+	if want := `# HELP weird line one\nline \\two "quoted"` + "\n"; !strings.Contains(out, want) {
+		t.Errorf("HELP not escaped per format, want %q in:\n%s", want, out)
+	}
+	if want := `weird{path="C:\\tmp\n\"x\""} 1` + "\n"; !strings.Contains(out, want) {
+		t.Errorf("label value not escaped per format, want %q in:\n%s", want, out)
+	}
+
+	// Span names flow into label values on the aggregator exporter.
+	agg := NewAggregator()
+	tr := NewTracer(agg)
+	sp := tr.Start("evil\"span\nname\\")
+	sp.End()
+	buf.Reset()
+	if err := agg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("agg WritePrometheus: %v", err)
+	}
+	assertParseable(t, buf.String())
+	if want := `span="evil\"span\nname\\"`; !strings.Contains(buf.String(), want) {
+		t.Errorf("span label not escaped, want %s in:\n%s", want, buf.String())
+	}
+}
+
+// TestGaugeSetConcurrentScrape races Set/Func registration against
+// WritePrometheus; under -race this proves the registry is data-race
+// free, and every mid-flight scrape must still parse.
+func TestGaugeSetConcurrentScrape(t *testing.T) {
+	g := NewGaugeSet()
+	g.Help("racy_metric", "Updated while being scraped.")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g.Set("racy_metric", float64(i), "worker", string(rune('a'+w)))
+				g.Func("racy_func", func() float64 { return float64(i) })
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := g.WritePrometheus(&buf); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		assertParseable(t, buf.String())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAggregatorConcurrentScrape races span emission (and histogram
+// observation) against in-flight scrapes of the full metrics handler
+// stack; output must always parse.
+func TestAggregatorConcurrentScrape(t *testing.T) {
+	agg := NewAggregator()
+	tr := NewTracer(agg)
+	hists := NewHistogramSet()
+	hists.Help("advisord_ingest_seconds", "Ingest latency.")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := tr.Start("solve.step")
+				sp.End()
+				hists.Observe("advisord_ingest_seconds", time.Duration(i)*time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := agg.WritePrometheus(&buf); err != nil {
+			t.Fatalf("agg scrape %d: %v", i, err)
+		}
+		if err := hists.WritePrometheus(&buf); err != nil {
+			t.Fatalf("hist scrape %d: %v", i, err)
+		}
+		assertParseable(t, buf.String())
+	}
+	close(stop)
+	wg.Wait()
+}

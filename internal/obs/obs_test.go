@@ -230,7 +230,7 @@ func TestPrometheusExportParses(t *testing.T) {
 // TestStartHTTPRejectsBadAddr pins that listener errors surface
 // synchronously from StartHTTP.
 func TestStartHTTPRejectsBadAddr(t *testing.T) {
-	if _, err := StartHTTP("256.256.256.256:0", "", NewAggregator(), nil); err == nil {
+	if _, err := StartHTTP("256.256.256.256:0", "", NewAggregator(), nil, nil); err == nil {
 		t.Fatal("StartHTTP accepted an unlistenable address")
 	}
 }
