@@ -61,11 +61,14 @@ chaos:
 # must agree on feasibility and cost (kernel_test.go), and the
 # partitioned solver must stay within its reported optimality gap of
 # the monolithic exact solve — bit-identical when the gap is zero
-# (partition_test.go). CI runs this as a smoke test; longer local
-# campaigns just raise -fuzztime.
+# (partition_test.go), and batched plan-table costing must be bitwise
+# identical to the scalar what-if coster on every configuration
+# (plan_test.go). CI runs this as a smoke test; longer local campaigns
+# just raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=20s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzPartitionEquivalence -fuzztime=20s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzBatchCostEquivalence -fuzztime=20s ./internal/cost/
 
 # explain-smoke drives the decision-provenance layer end to end on a
 # tiny phase-structured trace: a 20-statement A/C plan, a k=2 solve

@@ -1074,6 +1074,9 @@ func (s *service) helpGauges() {
 	g.Help("advisord_last_solve_seconds", "Wall-clock duration of the last re-solve (the advisord_solve_seconds histogram has the distribution).")
 	g.Help("advisord_solve_cost", "Objective cost of the last published recommendation.")
 	g.Help("advisord_solve_gap", "Anytime optimality gap of the last recommendation (0 = proven optimal).")
+	g.Help("advisord_plan_tables_built_total", "Per-statement plan tables compiled by the last solve's batched costing layer.")
+	g.Help("advisord_plan_table_bytes", "Heap bytes retained by the last solve's compiled plan tables.")
+	g.Help("advisord_batched_lookups_total", "Configurations the last solve evaluated through the batched what-if entry point.")
 	g.Help("advisord_memo_entries", "Current occupancy of the retained what-if memo.")
 	g.Help("advisord_memo_hit_rate", "Lifetime hit rate of the retained what-if memo.")
 	g.Help("advisord_memo_evictions_total", "Entries evicted from the capped what-if memo.")
@@ -1162,6 +1165,9 @@ func (s *service) publishGauges(rec *advisor.Recommendation, elapsed time.Durati
 	if rec != nil && rec.Solution != nil {
 		g.Set("advisord_solve_cost", rec.Solution.Cost)
 		g.Set("advisord_solve_gap", rec.Gap)
+		g.Set("advisord_plan_tables_built_total", float64(rec.Stats.PlanTableBuilds))
+		g.Set("advisord_plan_table_bytes", float64(rec.Stats.PlanTableBytes))
+		g.Set("advisord_batched_lookups_total", float64(rec.Stats.BatchedLookups))
 	}
 	ms := s.memo.Stats()
 	g.Set("advisord_memo_entries", float64(ms.Entries))

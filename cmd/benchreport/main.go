@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"dyndesign/internal/core"
+	"dyndesign/internal/workload"
 )
 
 // SchemaVersion identifies the report layout; bump on incompatible
@@ -93,13 +94,14 @@ func main() {
 	check := flag.Bool("check", false, "compare against -baseline and exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op increase before -check fails")
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "allowed fractional allocs/op increase before -check fails (allocs are machine-independent; no calibration applies)")
+	rows := flag.Int64("rows", workload.PaperRows, "table cardinality of the what-if costing cells (paper scale by default)")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: bad -benchtime: %v\n", err)
 		os.Exit(2)
 	}
 
-	rep, err := runGrid(*benchtime)
+	rep, err := runGrid(*benchtime, *rows)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
@@ -224,7 +226,7 @@ func solveCell(ctx context.Context, p *core.Problem, strat core.Strategy) (*core
 	return core.Solve(ctx, p, strat)
 }
 
-func runGrid(benchtime string) (*Report, error) {
+func runGrid(benchtime string, rows int64) (*Report, error) {
 	rep := &Report{
 		SchemaVersion: SchemaVersion,
 		Generated:     time.Now().UTC().Format(time.RFC3339),
@@ -273,6 +275,11 @@ func runGrid(benchtime string) (*Report, error) {
 				cell.key(), cell.NsPerOp, cell.AllocsPerOp, cell.Gap)
 		}
 	}
+	whatIfCells, err := runWhatIfCells(ctx, rows)
+	if err != nil {
+		return nil, fmt.Errorf("what-if cells: %w", err)
+	}
+	rep.Cells = append(rep.Cells, whatIfCells...)
 	if err := checkKernelPins(rep.Cells); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,372 @@
+// What-if costing throughput cells: the same paper-scale costing
+// problem evaluated through the scalar per-call path (assemble an index
+// slice, walk the histograms per configuration — the pre-plan-table hot
+// path) and through compiled plan tables with the batched frontier
+// entry point. The two variants are required to produce bit-identical
+// cost matrices and solve to identical designs; the gate then tracks
+// the throughput of each, and the scalar/batched ratio is the tentpole
+// speedup.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"dyndesign/internal/catalog"
+	"dyndesign/internal/core"
+	"dyndesign/internal/cost"
+	"dyndesign/internal/stats"
+	"dyndesign/internal/types"
+	"dyndesign/internal/workload"
+)
+
+const (
+	whatIfScalar core.Strategy = "whatif+scalar"
+	whatIfBatch  core.Strategy = "whatif+batch"
+)
+
+// whatIfBenchStructs index structures over the paper table; the
+// candidate set is the full 2^10 lattice, which puts the cells in the
+// m ≥ 10-structure regime the acceptance criteria name.
+var whatIfBenchStructs = [][]string{
+	{"a"}, {"b"}, {"c"}, {"d"},
+	{"a", "b"}, {"c", "d"}, {"b", "a"}, {"d", "c"}, {"a", "c"}, {"b", "d"},
+}
+
+// syntheticPaperStats fabricates the uniform statistics ANALYZE would
+// collect on the paper table at the given scale — values uniform in
+// [0, domain), ~5 rows per value — without materializing 2.5M rows.
+func syntheticPaperStats(rows, domain int64) *stats.TableStats {
+	const buckets = 100
+	perValue := rows / domain
+	if perValue < 1 {
+		perValue = 1
+	}
+	ts := &stats.TableStats{
+		Table:    workload.PaperTable,
+		Rows:     rows,
+		RowBytes: 36,
+		Columns:  map[string]*stats.ColumnStats{},
+	}
+	for _, col := range []string{"a", "b", "c", "d"} {
+		h := &stats.Histogram{Min: types.NewInt(0), Max: types.NewInt(domain - 1)}
+		prev := int64(-1)
+		for i := 0; i < buckets; i++ {
+			upper := (int64(i)+1)*domain/buckets - 1
+			if upper <= prev {
+				continue
+			}
+			distinct := upper - prev
+			h.Buckets = append(h.Buckets, stats.Bucket{
+				Upper:    types.NewInt(upper),
+				Count:    distinct * perValue,
+				Distinct: distinct,
+			})
+			h.Rows += distinct * perValue
+			prev = upper
+		}
+		ts.Columns[col] = &stats.ColumnStats{Column: col, Rows: h.Rows, NDV: domain, Hist: h}
+	}
+	return ts
+}
+
+// whatIfWorld is the shared costing world of both variants: the
+// paper-scale table, the hypothetical structures, and a deterministic
+// phase-structured workload cut into stages.
+type whatIfWorld struct {
+	table cost.TablePhys
+	phys  []cost.IndexPhys
+	segs  []workload.Segment
+	add   []float64 // per-structure build cost
+	size  []float64 // per-structure pages
+	calls atomic.Int64
+}
+
+func newWhatIfWorld(rows int64, stages, perStage int) (*whatIfWorld, error) {
+	schema, err := types.NewSchema(
+		types.Column{Name: "a", Kind: types.KindInt},
+		types.Column{Name: "b", Kind: types.KindInt},
+		types.Column{Name: "c", Kind: types.KindInt},
+		types.Column{Name: "d", Kind: types.KindInt},
+	)
+	if err != nil {
+		return nil, err
+	}
+	domain := workload.DomainForRows(rows)
+	w := &whatIfWorld{table: cost.TablePhys{
+		Name:      workload.PaperTable,
+		Schema:    schema,
+		Rows:      float64(rows),
+		HeapPages: cost.HeapPagesForRows(rows, 36),
+		Stats:     syntheticPaperStats(rows, domain),
+	}}
+	for _, cols := range whatIfBenchStructs {
+		ip, err := cost.HypotheticalIndex(catalog.IndexDef{Table: workload.PaperTable, Columns: cols}, w.table)
+		if err != nil {
+			return nil, err
+		}
+		w.phys = append(w.phys, ip)
+		w.add = append(w.add, cost.BuildCost(ip, w.table))
+		w.size = append(w.size, ip.TotalPages)
+	}
+	// Phase-structured read mixes (the paper's A/B/C/D rotation) with
+	// one DML statement per stage so maintenance terms are exercised.
+	mixes := workload.PaperMixes(rows)
+	labels := []string{"A", "B", "C", "D"}
+	rng := rand.New(rand.NewSource(11))
+	wl := &workload.Workload{Name: "whatif-bench"}
+	for i := 0; i < stages; i++ {
+		label := labels[(i*4)/stages%len(labels)]
+		sel, err := mixes[label].Generate(rng, perStage-1)
+		if err != nil {
+			return nil, err
+		}
+		wl.Append(label, sel...)
+		var dml []workload.Statement
+		if i%2 == 0 {
+			dml, err = workload.GenerateInserts(workload.PaperTable, 4, domain, rng, 1)
+		} else {
+			dml, err = workload.GenerateUpdates(workload.PaperTable, "a", "b", domain, rng, 1)
+		}
+		if err != nil {
+			return nil, err
+		}
+		wl.Append(label, dml...)
+	}
+	w.segs = wl.Segments(perStage)
+	if len(w.segs) != stages {
+		return nil, fmt.Errorf("whatif world: built %d segments, want %d", len(w.segs), stages)
+	}
+	return w, nil
+}
+
+func (w *whatIfWorld) latticeConfigs() []core.Config {
+	configs := make([]core.Config, 1<<uint(len(w.phys)))
+	for i := range configs {
+		configs[i] = core.Config(i)
+	}
+	return configs
+}
+
+func (w *whatIfWorld) Trans(from, to core.Config) float64 {
+	added, removed := from.Diff(to)
+	total := 0.0
+	for _, s := range added {
+		total += w.add[s]
+	}
+	total += float64(len(removed)) * cost.DropCost()
+	return total
+}
+
+func (w *whatIfWorld) TransParts() (add, drop []float64) {
+	drop = make([]float64, len(w.phys))
+	for i := range drop {
+		drop[i] = cost.DropCost()
+	}
+	return w.add, drop
+}
+
+func (w *whatIfWorld) Size(c core.Config) float64 {
+	total := 0.0
+	for _, s := range c.Structures() {
+		total += w.size[s]
+	}
+	return total
+}
+
+func (w *whatIfWorld) stats() (calls, hits int64) { return w.calls.Load(), 0 }
+
+// scalarWhatIfModel is the pre-plan-table hot path: every evaluation
+// assembles the configuration's []cost.IndexPhys and re-derives each
+// statement's access paths and selectivities from the histograms.
+type scalarWhatIfModel struct{ *whatIfWorld }
+
+func (m scalarWhatIfModel) Exec(stage int, c core.Config) float64 {
+	seg := m.segs[stage]
+	m.calls.Add(int64(len(seg.Statements)))
+	idxs := make([]cost.IndexPhys, 0, len(m.phys))
+	for _, s := range c.Structures() {
+		idxs = append(idxs, m.phys[s])
+	}
+	total := 0.0
+	for _, s := range seg.Statements {
+		v, err := cost.StatementCost(s.Stmt, m.table, idxs)
+		if err != nil {
+			return math.Inf(1)
+		}
+		total += v
+	}
+	return total
+}
+
+// batchWhatIfModel costs through compiled plan tables: one histogram
+// pass per (statement, access path) at construction, masked lookups per
+// configuration afterwards, with the batched frontier entry point.
+type batchWhatIfModel struct {
+	*whatIfWorld
+	plans [][]*cost.PlanTable
+}
+
+func newBatchWhatIfModel(w *whatIfWorld) (*batchWhatIfModel, error) {
+	m := &batchWhatIfModel{whatIfWorld: w, plans: make([][]*cost.PlanTable, len(w.segs))}
+	for i, seg := range w.segs {
+		m.plans[i] = make([]*cost.PlanTable, len(seg.Statements))
+		for j, s := range seg.Statements {
+			pt, err := cost.CompilePlan(s.Stmt, w.table, w.phys)
+			if err != nil {
+				return nil, fmt.Errorf("compiling %q: %w", s.SQL, err)
+			}
+			m.plans[i][j] = pt
+		}
+	}
+	return m, nil
+}
+
+func (m *batchWhatIfModel) Exec(stage int, c core.Config) float64 {
+	m.calls.Add(int64(len(m.plans[stage])))
+	total := 0.0
+	for _, pt := range m.plans[stage] {
+		total += pt.Cost(uint64(c))
+	}
+	return total
+}
+
+func (m *batchWhatIfModel) BatchExec(stage int, configs []core.Config, out []float64) []float64 {
+	if cap(out) < len(configs) {
+		out = make([]float64, len(configs))
+	}
+	out = out[:len(configs)]
+	m.calls.Add(int64(len(configs) * len(m.plans[stage])))
+	for j, c := range configs {
+		total := 0.0
+		for _, pt := range m.plans[stage] {
+			total += pt.Cost(uint64(c))
+		}
+		out[j] = total
+	}
+	return out
+}
+
+// whatIfFrontier evaluates the full stages × configs cost matrix the
+// way the solvers would — BatchExec per stage when the model offers it,
+// per-call Exec otherwise — and returns the checksum so the work cannot
+// be dead-code-eliminated.
+func whatIfFrontier(model core.CostModel, stages int, configs []core.Config, row []float64) float64 {
+	sum := 0.0
+	bm, batched := model.(core.BatchCostModel)
+	for i := 0; i < stages; i++ {
+		if batched {
+			row = bm.BatchExec(i, configs, row)
+			for _, v := range row {
+				sum += v
+			}
+			continue
+		}
+		for _, c := range configs {
+			sum += model.Exec(i, c)
+		}
+	}
+	return sum
+}
+
+// runWhatIfCells builds the paper-scale world once, verifies the two
+// costing variants are bit-identical (matrix and solution), and
+// measures each variant's full-frontier costing throughput.
+func runWhatIfCells(ctx context.Context, rows int64) ([]Cell, error) {
+	const stages, perStage, k = 64, 4, 2
+	world, err := newWhatIfWorld(rows, stages, perStage)
+	if err != nil {
+		return nil, err
+	}
+	scalar := scalarWhatIfModel{world}
+	batch, err := newBatchWhatIfModel(world)
+	if err != nil {
+		return nil, err
+	}
+	configs := world.latticeConfigs()
+
+	// Hard pin 1: bit-identical cost matrices.
+	row := make([]float64, len(configs))
+	for i := 0; i < stages; i++ {
+		row = batch.BatchExec(i, configs, row)
+		for j, c := range configs {
+			want := scalar.Exec(i, c)
+			if math.Float64bits(row[j]) != math.Float64bits(want) {
+				return nil, fmt.Errorf("what-if variants disagree at stage %d config %d: batch %v != scalar %v",
+					i, c, row[j], want)
+			}
+		}
+	}
+
+	// Hard pin 2: identical solutions from identical problems.
+	solve := func(model core.CostModel) (*core.Solution, error) {
+		p := &core.Problem{
+			Stages:  stages,
+			Configs: configs,
+			K:       k,
+			Policy:  core.FreeEndpoints,
+			Model:   model,
+			Kernel:  core.KernelHypercube,
+		}
+		return core.Solve(ctx, p, core.StrategyKAware)
+	}
+	world.calls.Store(0)
+	scalarSol, err := solve(scalar)
+	if err != nil {
+		return nil, fmt.Errorf("scalar what-if solve: %w", err)
+	}
+	scalarCalls := world.calls.Load()
+	world.calls.Store(0)
+	batchSol, err := solve(batch)
+	if err != nil {
+		return nil, fmt.Errorf("batched what-if solve: %w", err)
+	}
+	batchCalls := world.calls.Load()
+	if math.Float64bits(scalarSol.Cost) != math.Float64bits(batchSol.Cost) || scalarSol.Changes != batchSol.Changes {
+		return nil, fmt.Errorf("what-if solution drift: scalar (cost %v, %d changes) vs batched (cost %v, %d changes)",
+			scalarSol.Cost, scalarSol.Changes, batchSol.Cost, batchSol.Changes)
+	}
+	for i := range scalarSol.Designs {
+		if scalarSol.Designs[i] != batchSol.Designs[i] {
+			return nil, fmt.Errorf("what-if solution drift at stage %d: scalar design %v vs batched %v",
+				i, scalarSol.Designs[i], batchSol.Designs[i])
+		}
+	}
+
+	matrixCells := float64(stages * len(configs))
+	mkCell := func(strat core.Strategy, model core.CostModel, calls int64, sol *core.Solution) Cell {
+		cell := Cell{
+			Strategy:    string(strat),
+			N:           stages,
+			M:           len(configs),
+			K:           k,
+			WhatIfCalls: calls,
+			Cost:        sol.Cost,
+			Changes:     sol.Changes,
+		}
+		scratch := make([]float64, len(configs))
+		cell.NsPerOp, cell.AllocsPerOp, cell.BytesPerOp = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if whatIfFrontier(model, stages, configs, scratch) <= 0 {
+					b.Fatal("frontier checksum not positive")
+				}
+			}
+		})
+		fmt.Fprintf(os.Stderr, "  %-32s %12.0f ns/op %8d allocs/op  (%.0f ns per costed cell)\n",
+			cell.key(), cell.NsPerOp, cell.AllocsPerOp, cell.NsPerOp/matrixCells)
+		return cell
+	}
+	scalarCell := mkCell(whatIfScalar, scalar, scalarCalls, scalarSol)
+	batchCell := mkCell(whatIfBatch, batch, batchCalls, batchSol)
+	if batchCell.NsPerOp > 0 {
+		fmt.Fprintf(os.Stderr, "  what-if throughput: batched costing %.1fx the scalar path (rows=%d, m=%d)\n",
+			scalarCell.NsPerOp/batchCell.NsPerOp, rows, len(configs))
+	}
+	return []Cell{scalarCell, batchCell}, nil
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,17 +206,31 @@ func (a *Advisor) Space() *DesignSpace { return &a.space }
 // state as stale instead of replaying estimates from a dead world.
 func (a *Advisor) StatsFingerprint() uint64 { return a.table.Stats.Fingerprint() }
 
+// physPool recycles the per-call []cost.IndexPhys assembly of the
+// scalar costing path, so monitoring loops (the drift alerter costs
+// every observed statement, the calibrator every sample) do not pay one
+// slice allocation per what-if call.
+var physPool = sync.Pool{New: func() any {
+	return &physScratch{buf: make([]cost.IndexPhys, 0, core.MaxStructures)}
+}}
+
+type physScratch struct{ buf []cost.IndexPhys }
+
 // StatementCost returns the what-if cost of one statement under a
 // configuration of the design space — the EXEC(S, C) primitive, exposed
 // for monitoring tools like the drift alerter.
 func (a *Advisor) StatementCost(s workload.Statement, c core.Config) (float64, error) {
-	idxs := make([]cost.IndexPhys, 0, c.Count())
-	for _, bit := range c.Structures() {
+	sc := physPool.Get().(*physScratch)
+	defer physPool.Put(sc)
+	idxs := sc.buf[:0]
+	for b := uint64(c); b != 0; b &= b - 1 {
+		bit := bits.TrailingZeros64(b)
 		if bit >= len(a.phys) {
 			return 0, fmt.Errorf("advisor: configuration bit %d outside the design space", bit)
 		}
 		idxs = append(idxs, a.phys[bit])
 	}
+	sc.buf = idxs
 	return cost.StatementCost(s.Stmt, a.table, idxs)
 }
 
@@ -238,9 +253,23 @@ type whatIfModel struct {
 	// consults the version on every table fetch and replay peek.
 	version uint64
 	memo    *ExecMemo
-	// whatIfCalls counts individual statement costings (not memo
-	// lookups); see CostStats.
+	// whatIfCalls counts statement costings demanded of the model —
+	// memo misses times statements, attempted evaluations included even
+	// when costing fails; memo hits never count. See CostStats.
 	whatIfCalls atomic.Int64
+	// plan[i] holds stage i's compiled statement plan tables, built
+	// lazily under planLocks[i] on the first memo-missing evaluation
+	// and read lock-free afterwards. Compilation failures are
+	// deliberately not cached (mirroring the memo), so a healthy retry
+	// recompiles instead of replaying a dead error.
+	plan      []atomic.Pointer[stagePlans]
+	planLocks []sync.Mutex
+	// planBuilds, planBytes, and batchedLookups instrument the batched
+	// costing layer: plan tables compiled, bytes they retain, and
+	// configurations evaluated through BatchExec.
+	planBuilds     atomic.Int64
+	planBytes      atomic.Int64
+	batchedLookups atomic.Int64
 	// errMu guards execErr, the first costing failure since the last
 	// TakeErr drain (the core.FallibleModel contract).
 	errMu   sync.Mutex
@@ -249,6 +278,12 @@ type whatIfModel struct {
 	// cliques (computed lazily — only the partitioned solver asks).
 	interOnce    sync.Once
 	interactions []core.Config
+}
+
+// stagePlans is one stage's compiled costing: a plan table per
+// statement of the segment.
+type stagePlans struct {
+	tables []*cost.PlanTable
 }
 
 // fnv64 is FNV-1a over a byte sequence fed piecewise.
@@ -325,38 +360,113 @@ func (m *whatIfModel) computeVersion() uint64 {
 	return uint64(h)
 }
 
-func (m *whatIfModel) physFor(c core.Config) []cost.IndexPhys {
-	out := make([]cost.IndexPhys, 0, c.Count())
-	for _, s := range c.Structures() {
-		out = append(out, m.phys[s])
+// stagePlans returns stage's compiled plan tables, compiling them on
+// first use. Compilation is the "one histogram pass per access path"
+// step: each statement's selectivities and candidate path costs are
+// derived exactly once, after which every configuration evaluation is
+// O(statements) masked table lookups.
+func (m *whatIfModel) stagePlans(stage int) (*stagePlans, error) {
+	if sp := m.plan[stage].Load(); sp != nil {
+		return sp, nil
 	}
-	return out
+	m.planLocks[stage].Lock()
+	defer m.planLocks[stage].Unlock()
+	if sp := m.plan[stage].Load(); sp != nil {
+		return sp, nil
+	}
+	stmts := m.segs[stage].Statements
+	sp := &stagePlans{tables: make([]*cost.PlanTable, len(stmts))}
+	retained := 0
+	for i, s := range stmts {
+		pt, err := cost.CompilePlan(s.Stmt, m.table, m.phys)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: costing validated statement %q: %w", s.SQL, err)
+		}
+		sp.tables[i] = pt
+		retained += pt.Bytes()
+	}
+	m.plan[stage].Store(sp)
+	m.planBuilds.Add(int64(len(stmts)))
+	m.planBytes.Add(int64(retained))
+	return sp, nil
 }
 
 // Exec implements core.CostModel: the summed what-if cost of the
-// segment's statements under configuration c. Statements are validated
-// when the problem is built, so a cost error here means the model's
-// world changed mid-solve; the failure is recorded for TakeErr, the
-// evaluation returns +Inf, and nothing is memoized so a healthy retry
-// can recompute the cell.
+// segment's statements under configuration c, evaluated through the
+// stage's compiled plan tables (bit-identical to summing
+// cost.StatementCost, per the PlanTable contract). Statements are
+// validated when the problem is built, so a compile error here means
+// the model's world changed mid-solve; the failure is recorded for
+// TakeErr, the evaluation returns +Inf, and nothing is memoized so a
+// healthy retry can recompute the cell.
 func (m *whatIfModel) Exec(stage int, c core.Config) float64 {
 	key := execKey{seg: m.segHash[stage], cfg: c}
 	if v, ok := m.memo.get(key); ok {
 		return v
 	}
-	idxs := m.physFor(c)
-	total := 0.0
-	for _, s := range m.segs[stage].Statements {
-		v, err := cost.StatementCost(s.Stmt, m.table, idxs)
-		if err != nil {
-			m.recordErr(fmt.Errorf("advisor: costing validated statement %q: %w", s.SQL, err))
-			return math.Inf(1)
-		}
-		total += v
-	}
+	// Count the attempted statement costings before knowing whether
+	// they succeed: the counter attributes demanded work per cell, and
+	// an error path that skipped it would under-report exactly when
+	// diagnosing matters most.
 	m.whatIfCalls.Add(int64(len(m.segs[stage].Statements)))
+	sp, err := m.stagePlans(stage)
+	if err != nil {
+		m.recordErr(err)
+		return math.Inf(1)
+	}
+	total := 0.0
+	for _, pt := range sp.tables {
+		total += pt.Cost(uint64(c))
+	}
 	m.memo.put(key, total)
 	return total
+}
+
+// BatchExec implements core.BatchCostModel: one memo probe per
+// configuration, plan-table evaluation for the misses. The per-stage
+// setup — segment hash, statement count, plan-table fetch — is paid
+// once per call instead of once per cell, and no per-call index-slice
+// assembly happens at all.
+func (m *whatIfModel) BatchExec(stage int, configs []core.Config, out []float64) []float64 {
+	if cap(out) < len(configs) {
+		out = make([]float64, len(configs))
+	}
+	out = out[:len(configs)]
+	m.batchedLookups.Add(int64(len(configs)))
+	seg := m.segHash[stage]
+	var sp *stagePlans
+	var spErr error
+	loaded := false
+	missed := int64(0)
+	for j, c := range configs {
+		key := execKey{seg: seg, cfg: c}
+		if v, ok := m.memo.get(key); ok {
+			out[j] = v
+			continue
+		}
+		missed++
+		if !loaded {
+			loaded = true
+			sp, spErr = m.stagePlans(stage)
+			if spErr != nil {
+				m.recordErr(spErr)
+			}
+		}
+		if spErr != nil {
+			out[j] = math.Inf(1)
+			continue
+		}
+		total := 0.0
+		for _, pt := range sp.tables {
+			total += pt.Cost(uint64(c))
+		}
+		m.memo.put(key, total)
+		out[j] = total
+	}
+	if missed > 0 {
+		m.whatIfCalls.Add(missed * int64(len(m.segs[stage].Statements)))
+	}
+	return out
 }
 
 // recordErr keeps the first costing failure for TakeErr.
@@ -381,9 +491,12 @@ func (m *whatIfModel) TakeErr() error {
 // costStats implements statsProvider.
 func (m *whatIfModel) costStats() CostStats {
 	return CostStats{
-		WhatIfCalls:  m.whatIfCalls.Load(),
-		CacheLookups: m.memo.lookups.Load(),
-		CacheHits:    m.memo.hits.Load(),
+		WhatIfCalls:     m.whatIfCalls.Load(),
+		CacheLookups:    m.memo.lookups.Load(),
+		CacheHits:       m.memo.hits.Load(),
+		PlanTableBuilds: m.planBuilds.Load(),
+		PlanTableBytes:  m.planBytes.Load(),
+		BatchedLookups:  m.batchedLookups.Load(),
 	}
 }
 
@@ -427,9 +540,20 @@ func (m *whatIfModel) TransParts() (add, drop []float64) {
 func (m *whatIfModel) ExecInteractions() []core.Config {
 	m.interOnce.Do(func() {
 		seen := make(map[core.Config]bool)
-		for _, seg := range m.segs {
-			for _, s := range seg.Statements {
-				cl := m.relevantIndexes(s.Stmt)
+		for i := range m.segs {
+			// The plan tables record each statement's relevant mask —
+			// the indexes whose solo probe beats (or ties, given the
+			// planner's index-preferring tie-break) the heap scan —
+			// which is exactly the clique the solo ChooseAccess probes
+			// used to derive. Compile failures surface through Exec,
+			// not here; a failing stage just contributes no cliques,
+			// as its per-index probes would all have errored too.
+			sp, err := m.stagePlans(i)
+			if err != nil {
+				continue
+			}
+			for _, pt := range sp.tables {
+				cl := core.Config(pt.RelevantMask())
 				if cl.Count() < 2 || seen[cl] {
 					continue // singletons add no edges
 				}
@@ -441,40 +565,11 @@ func (m *whatIfModel) ExecInteractions() []core.Config {
 	return m.interactions
 }
 
-// relevantIndexes probes each candidate index alone against the
-// statement's row search: the index is relevant when the planner picks
-// it over the heap scan. DML statements probe the same SELECT their
-// costing uses for the row search; INSERTs have none.
-func (m *whatIfModel) relevantIndexes(stmt sql.Statement) core.Config {
-	var probe *sql.Select
-	switch s := stmt.(type) {
-	case *sql.Select:
-		probe = s
-	case *sql.Update:
-		probe = &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
-	case *sql.Delete:
-		probe = &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
-	default:
-		return 0
-	}
-	var cl core.Config
-	for s := range m.phys {
-		a, err := cost.ChooseAccess(probe, m.table, m.phys[s:s+1])
-		if err != nil {
-			continue // costing failures surface through Exec, not here
-		}
-		if a.Kind != cost.HeapScan {
-			cl |= 1 << uint(s)
-		}
-	}
-	return cl
-}
-
 // Size implements core.CostModel: total pages of the configuration.
 func (m *whatIfModel) Size(c core.Config) float64 {
 	total := 0.0
-	for _, s := range c.Structures() {
-		total += m.phys[s].TotalPages
+	for b := uint64(c); b != 0; b &= b - 1 {
+		total += m.phys[bits.TrailingZeros64(b)].TotalPages
 	}
 	return total
 }
@@ -519,6 +614,8 @@ func (a *Advisor) Problem(w *workload.Workload, opts Options) (_ *core.Problem, 
 	for i, seg := range segs {
 		model.segHash[i] = segmentHash(seg)
 	}
+	model.plan = make([]atomic.Pointer[stagePlans], len(segs))
+	model.planLocks = make([]sync.Mutex, len(segs))
 	model.version = model.computeVersion()
 	// Pin the memo to this model's cost world: entries computed under
 	// refreshed statistics or different physical descriptions are

@@ -1,0 +1,191 @@
+package advisor
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dyndesign/internal/core"
+	"dyndesign/internal/workload"
+)
+
+// TestBatchExecMatchesExec pins the tentpole invariant at the model
+// layer: BatchExec over a frontier is bit-for-bit identical to per-call
+// Exec, on cold and warm memos alike.
+func TestBatchExecMatchesExec(t *testing.T) {
+	_, adv := testAdvisor(t)
+	w := testWorkload(t)
+	p, _, err := adv.Problem(w, paperOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, ok := p.Model.(core.BatchCostModel)
+	if !ok {
+		t.Fatal("advisor problem model does not implement core.BatchCostModel")
+	}
+	// Scalar twin with its own memo, so neither side sees the other's
+	// cached values.
+	p2, _, err := adv.Problem(w, paperOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	for stage := 0; stage < p.Stages; stage++ {
+		out = bm.BatchExec(stage, p.Configs, out[:0])
+		if len(out) != len(p.Configs) {
+			t.Fatalf("stage %d: BatchExec returned %d values for %d configs", stage, len(out), len(p.Configs))
+		}
+		for j, c := range p.Configs {
+			want := p2.Model.Exec(stage, c)
+			if math.Float64bits(out[j]) != math.Float64bits(want) {
+				t.Fatalf("stage %d config %v: batch %v != scalar %v", stage, c, out[j], want)
+			}
+		}
+		// Warm pass: every value now comes from the memo; must not drift.
+		warm := bm.BatchExec(stage, p.Configs, nil)
+		for j := range warm {
+			if math.Float64bits(warm[j]) != math.Float64bits(out[j]) {
+				t.Fatalf("stage %d config %v: warm batch %v != cold %v", stage, p.Configs[j], warm[j], out[j])
+			}
+		}
+	}
+}
+
+// brokenModel builds a whatIfModel whose only segment contains
+// statements that parse but cannot be costed (unknown column),
+// bypassing the validation Problem performs — the shape of a world that
+// changed mid-solve.
+func brokenModel(t *testing.T, adv *Advisor) (*whatIfModel, int) {
+	t.Helper()
+	stmts := []workload.Statement{
+		workload.MustStatement("SELECT nope FROM t"),
+		workload.MustStatement("SELECT a FROM t WHERE a = 1"),
+	}
+	segs := []workload.Segment{{Statements: stmts}}
+	m := &whatIfModel{table: adv.table, phys: adv.phys, segs: segs, memo: newExecCache()}
+	m.segHash = []uint64{segmentHash(segs[0])}
+	m.plan = make([]atomic.Pointer[stagePlans], 1)
+	m.planLocks = make([]sync.Mutex, 1)
+	m.version = m.computeVersion()
+	m.memo.validate(m.worldVersion())
+	return m, len(stmts)
+}
+
+// TestExecCountsAttemptedStatementsOnError pins the accounting fix:
+// what-if calls count the statements a costing *attempted*, even when
+// the attempt fails, and failed cells are never memoized.
+func TestExecCountsAttemptedStatementsOnError(t *testing.T) {
+	_, adv := testAdvisor(t)
+	m, nstmt := brokenModel(t, adv)
+	if v := m.Exec(0, 0); !math.IsInf(v, 1) {
+		t.Fatalf("Exec on a broken world = %v, want +Inf", v)
+	}
+	if got := m.whatIfCalls.Load(); got != int64(nstmt) {
+		t.Fatalf("whatIfCalls after failed Exec = %d, want %d (attempted statements must count)", got, nstmt)
+	}
+	if err := m.TakeErr(); err == nil {
+		t.Fatal("TakeErr returned nil after a costing failure")
+	}
+	// The failure is not cached: a retry attempts (and counts) again.
+	if v := m.Exec(0, 0); !math.IsInf(v, 1) {
+		t.Fatalf("second Exec = %v, want +Inf", v)
+	}
+	if got := m.whatIfCalls.Load(); got != 2*int64(nstmt) {
+		t.Fatalf("whatIfCalls after retry = %d, want %d", got, 2*nstmt)
+	}
+
+	// Same contract on the batched path.
+	m2, _ := brokenModel(t, adv)
+	configs := []core.Config{0, 1, 2}
+	out := m2.BatchExec(0, configs, nil)
+	for j, v := range out {
+		if !math.IsInf(v, 1) {
+			t.Fatalf("batch cell %d on a broken world = %v, want +Inf", j, v)
+		}
+	}
+	if got := m2.whatIfCalls.Load(); got != int64(len(configs)*nstmt) {
+		t.Fatalf("whatIfCalls after failed batch = %d, want %d", got, len(configs)*nstmt)
+	}
+	if err := m2.TakeErr(); err == nil {
+		t.Fatal("TakeErr returned nil after a batched costing failure")
+	}
+	if got := m2.costStats().BatchedLookups; got != int64(len(configs)) {
+		t.Fatalf("BatchedLookups = %d, want %d", got, len(configs))
+	}
+}
+
+// TestExecWarmMemoZeroAllocs pins the arena property of the hot path: a
+// memo-served Exec performs no heap allocation at all.
+func TestExecWarmMemoZeroAllocs(t *testing.T) {
+	_, adv := testAdvisor(t)
+	w := testWorkload(t)
+	p, _, err := adv.Problem(w, paperOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Model.(*whatIfModel)
+	cfg := p.Configs[len(p.Configs)-1]
+	m.Exec(0, cfg)
+	if allocs := testing.AllocsPerRun(100, func() { m.Exec(0, cfg) }); allocs != 0 {
+		t.Fatalf("warm-memo Exec allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestStatementCostPooledScratch pins the satellite fix: the scalar
+// what-if path assembles its []cost.IndexPhys in pooled scratch instead
+// of allocating per call. The average must amortize below one
+// allocation per call (an occasional GC may empty the pool).
+func TestStatementCostPooledScratch(t *testing.T) {
+	_, adv := testAdvisor(t)
+	s := workload.MustStatement("INSERT INTO t VALUES (1, 2, 3, 4)")
+	full := core.Config(1)<<uint(len(adv.phys)) - 1
+	if _, err := adv.StatementCost(s, full); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := adv.StatementCost(s, full); err != nil {
+			panic(err)
+		}
+	})
+	if allocs >= 1 {
+		t.Fatalf("StatementCost allocates %.2f objects per call; pooled scratch should amortize below 1", allocs)
+	}
+}
+
+// TestParallelSolveMatchesSerial requires the batched frontier costing
+// to be deterministic under parallel matrix builds: a Parallelism=4
+// solve must produce bit-identical designs and cost to a serial one.
+func TestParallelSolveMatchesSerial(t *testing.T) {
+	_, adv := testAdvisor(t)
+	w := testWorkload(t)
+	serial := paperOpts(2)
+	serial.Parallelism = 1
+	par := paperOpts(2)
+	par.Parallelism = 4
+	r1, err := adv.Recommend(w, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := adv.Recommend(w, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(r1.Solution.Cost) != math.Float64bits(r2.Solution.Cost) {
+		t.Fatalf("parallel cost %v != serial cost %v", r2.Solution.Cost, r1.Solution.Cost)
+	}
+	if len(r1.Solution.Designs) != len(r2.Solution.Designs) {
+		t.Fatalf("design length mismatch: %d vs %d", len(r2.Solution.Designs), len(r1.Solution.Designs))
+	}
+	for i := range r1.Solution.Designs {
+		if r1.Solution.Designs[i] != r2.Solution.Designs[i] {
+			t.Fatalf("stage %d: parallel design %v != serial %v", i, r2.Solution.Designs[i], r1.Solution.Designs[i])
+		}
+	}
+	if r2.Stats.BatchedLookups == 0 {
+		t.Fatal("solve did not route any frontier through BatchExec")
+	}
+	if r2.Stats.PlanTableBuilds == 0 {
+		t.Fatal("solve compiled no plan tables")
+	}
+}

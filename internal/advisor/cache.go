@@ -240,13 +240,24 @@ func (c *ExecMemo) Stats() MemoStats {
 type CostStats struct {
 	// WhatIfCalls counts individual what-if statement costings — the
 	// unit the paper's Figure 4 discussion treats as the advisor's
-	// dominant expense.
+	// dominant expense. It counts costings the solvers *demanded* (memo
+	// misses × statements, attempted evaluations included even when
+	// costing fails); memo hits never count.
 	WhatIfCalls int64
 	// CacheLookups and CacheHits describe the EXEC memo: every
 	// CostModel.Exec call is one lookup, served from the cache when the
 	// (segment, configuration) pair was costed before.
 	CacheLookups int64
 	CacheHits    int64
+	// PlanTableBuilds counts per-statement plan-table compilations —
+	// the "one histogram pass per access path" work the batched costing
+	// layer performs once per (stage, statement) instead of once per
+	// configuration. PlanTableBytes is the heap those tables retain.
+	PlanTableBuilds int64
+	PlanTableBytes  int64
+	// BatchedLookups counts configurations evaluated through the
+	// BatchExec frontier entry point (memo hits included).
+	BatchedLookups int64
 }
 
 // HitRate returns the fraction of EXEC lookups served from the memo, 0
@@ -261,9 +272,12 @@ func (s CostStats) HitRate() float64 {
 // add accumulates counters (used when several models back one run).
 func (s CostStats) add(o CostStats) CostStats {
 	return CostStats{
-		WhatIfCalls:  s.WhatIfCalls + o.WhatIfCalls,
-		CacheLookups: s.CacheLookups + o.CacheLookups,
-		CacheHits:    s.CacheHits + o.CacheHits,
+		WhatIfCalls:     s.WhatIfCalls + o.WhatIfCalls,
+		CacheLookups:    s.CacheLookups + o.CacheLookups,
+		CacheHits:       s.CacheHits + o.CacheHits,
+		PlanTableBuilds: s.PlanTableBuilds + o.PlanTableBuilds,
+		PlanTableBytes:  s.PlanTableBytes + o.PlanTableBytes,
+		BatchedLookups:  s.BatchedLookups + o.BatchedLookups,
 	}
 }
 

@@ -249,6 +249,10 @@ func (r *Recommendation) Render(w io.Writer) {
 	fmt.Fprintf(w, "  what-if calls: %d   cache hit rate: %.1f%%   matrix build: %.1f ms (%d builds, %d cached reads)\n",
 		r.Stats.WhatIfCalls, 100*r.Stats.HitRate(),
 		float64(r.MatrixBuildTime.Microseconds())/1000, r.MatrixBuilds, r.MatrixReuses)
+	if r.Stats.PlanTableBuilds > 0 {
+		fmt.Fprintf(w, "  plan tables: %d compiled (%.1f KiB retained)   batched lookups: %d\n",
+			r.Stats.PlanTableBuilds, float64(r.Stats.PlanTableBytes)/1024, r.Stats.BatchedLookups)
+	}
 	r.RenderRobustness(w)
 	steps := r.Steps()
 	if len(steps) == 0 {

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// batchTableModel wraps tableModel with a counting BatchExec so tests
+// can assert the solvers route frontier costing through the batch entry
+// point and that doing so never changes a result.
+type batchTableModel struct {
+	tableModel
+	batchCalls atomic.Int64
+	batchCells atomic.Int64
+}
+
+var _ BatchCostModel = (*batchTableModel)(nil)
+
+func (m *batchTableModel) BatchExec(stage int, configs []Config, out []float64) []float64 {
+	if cap(out) < len(configs) {
+		out = make([]float64, len(configs))
+	}
+	out = out[:len(configs)]
+	m.batchCalls.Add(1)
+	m.batchCells.Add(int64(len(configs)))
+	for j, c := range configs {
+		out[j] = m.exec[stage][c]
+	}
+	return out
+}
+
+// TestBatchCostModelUsedAndIdentical solves the same problem twice —
+// once with a plain CostModel, once with its BatchCostModel twin — and
+// requires bit-identical solutions plus evidence the batch entry point
+// actually carried the cost-table build and the greedy sweep.
+func TestBatchCostModelUsedAndIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tm, configs := randomModel(rng, 8, 4)
+	bm := &batchTableModel{tableModel: *tm}
+	f := Config(0)
+	mkProblem := func(model CostModel) *Problem {
+		return &Problem{Stages: 8, Configs: configs, Initial: 0, Final: &f, K: 2, Model: model}
+	}
+
+	for _, strat := range []Strategy{StrategyKAware, StrategyGreedySeq} {
+		scalarSol, err := Solve(bg, mkProblem(tm), strat)
+		if err != nil {
+			t.Fatalf("%s scalar solve: %v", strat, err)
+		}
+		batchSol, err := Solve(bg, mkProblem(bm), strat)
+		if err != nil {
+			t.Fatalf("%s batch solve: %v", strat, err)
+		}
+		if math.Float64bits(scalarSol.Cost) != math.Float64bits(batchSol.Cost) {
+			t.Errorf("%s: batch cost %v != scalar cost %v", strat, batchSol.Cost, scalarSol.Cost)
+		}
+		if len(scalarSol.Designs) != len(batchSol.Designs) {
+			t.Fatalf("%s: design length mismatch", strat)
+		}
+		for i := range scalarSol.Designs {
+			if scalarSol.Designs[i] != batchSol.Designs[i] {
+				t.Errorf("%s: stage %d design %v != %v", strat, i, batchSol.Designs[i], scalarSol.Designs[i])
+			}
+		}
+	}
+	if bm.batchCalls.Load() == 0 {
+		t.Fatal("no solver used BatchExec; frontier costing fell back to per-call Exec")
+	}
+	if bm.batchCells.Load() == 0 {
+		t.Fatal("BatchExec was called with empty frontiers only")
+	}
+}
+
+// TestBudgetModelBatchAccounting checks the resilient budget wrapper
+// charges batched evaluations exactly like scalar ones: same total,
+// exactly one budget-exhausted trip, and no double counting when the
+// inner model lacks BatchExec.
+func TestBudgetModelBatchAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tm, configs := randomModel(rng, 4, 3)
+	bm := &batchTableModel{tableModel: *tm}
+
+	for _, inner := range []CostModel{CostModel(tm), CostModel(bm)} {
+		tripped := 0
+		b := &budgetModel{inner: inner, budget: 10,
+			cancel: func(error) { tripped++ }}
+		out := b.BatchExec(0, configs, nil)
+		for j, c := range configs {
+			want := inner.Exec(0, c)
+			if math.Float64bits(out[j]) != math.Float64bits(want) {
+				t.Fatalf("budget batch value %v != inner %v", out[j], want)
+			}
+		}
+		// Each batch charges len(configs) = 8; the second batch crosses
+		// the budget of 10 and must cancel exactly once.
+		b.BatchExec(1, configs, out)
+		b.BatchExec(2, configs, out)
+		if tripped != 1 {
+			t.Fatalf("budget tripped %d times, want exactly once", tripped)
+		}
+	}
+}

@@ -101,6 +101,21 @@ type CostModel interface {
 	Size(c Config) float64
 }
 
+// BatchCostModel is a CostModel that can cost a whole configuration
+// frontier in one call. The matrix build and the greedy per-stage scans
+// prefer it when available: a batched model amortizes its per-stage
+// setup (plan-table compilation, memo key derivation) across every
+// configuration instead of repeating it per cell.
+type BatchCostModel interface {
+	CostModel
+	// BatchExec evaluates EXEC(stage, c) for every configuration in
+	// configs, writing into out when it has sufficient capacity
+	// (allocating otherwise) and returning the filled slice. Results
+	// must be bit-for-bit identical to per-call Exec — solvers cache,
+	// replay, and memoize batched and scalar values interchangeably.
+	BatchExec(stage int, configs []Config, out []float64) []float64
+}
+
 // ChangePolicy selects how design changes are counted against k; see
 // DESIGN.md §3 for why two policies exist.
 type ChangePolicy int

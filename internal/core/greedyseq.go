@@ -41,7 +41,15 @@ func SolveGreedySeq(ctx context.Context, p *Problem) (*Solution, []Config, error
 
 	// Per-stage best configuration by execution cost alone. Each stage
 	// costs every candidate once, so the context check per stage bounds
-	// cancellation latency by m what-if calls.
+	// cancellation latency by m what-if calls. A batch-aware model
+	// costs the whole frontier in one call per stage, into one row
+	// buffer reused across stages (the scan only needs the running
+	// minimum, so the row is scratch, not state).
+	bm, batched := p.Model.(BatchCostModel)
+	var row []float64
+	if batched {
+		row = make([]float64, len(configs))
+	}
 	best := make([]Config, p.Stages)
 	for i := 0; i < p.Stages; i++ {
 		if err := ctxErr(ctx); err != nil {
@@ -50,10 +58,20 @@ func SolveGreedySeq(ctx context.Context, p *Problem) (*Solution, []Config, error
 		}
 		bc := configs[0]
 		bv := math.Inf(1)
-		for _, c := range configs {
-			if v := p.Model.Exec(i, c); v < bv {
-				bv = v
-				bc = c
+		if batched {
+			row = bm.BatchExec(i, configs, row)
+			for j, v := range row {
+				if v < bv {
+					bv = v
+					bc = configs[j]
+				}
+			}
+		} else {
+			for _, c := range configs {
+				if v := p.Model.Exec(i, c); v < bv {
+					bv = v
+					bc = c
+				}
 			}
 		}
 		best[i] = bc

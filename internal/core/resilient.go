@@ -59,6 +59,31 @@ func (b *budgetModel) Exec(stage int, c Config) float64 {
 	return b.inner.Exec(stage, c)
 }
 
+// BatchExec implements BatchCostModel: the whole batch is charged
+// against the budget up front (the add that crosses budget+1 cancels,
+// exactly once), then delegated to the inner model's batch entry point
+// when it has one and evaluated per cell otherwise. Either way the
+// total charged equals what the per-call path would have charged.
+func (b *budgetModel) BatchExec(stage int, configs []Config, out []float64) []float64 {
+	if n := int64(len(configs)); n > 0 {
+		after := b.calls.Add(n)
+		if after >= b.budget+1 && after-n < b.budget+1 {
+			b.cancel(ErrWhatIfBudget)
+		}
+	}
+	if bm, ok := b.inner.(BatchCostModel); ok {
+		return bm.BatchExec(stage, configs, out)
+	}
+	if cap(out) < len(configs) {
+		out = make([]float64, len(configs))
+	}
+	out = out[:len(configs)]
+	for j, c := range configs {
+		out[j] = b.inner.Exec(stage, c)
+	}
+	return out
+}
+
 func (b *budgetModel) Trans(from, to Config) float64 { return b.inner.Trans(from, to) }
 func (b *budgetModel) Size(c Config) float64         { return b.inner.Size(c) }
 

@@ -75,14 +75,24 @@ func (p *Problem) buildMatrices(ctx context.Context, configs []Config, needTrans
 	// tracer off, the per-row cost is one branch on a captured bool
 	// instead of span construction, which matters at n rows per build.
 	traced := p.Tracer.Enabled()
+	// One capability check serves every row: a batch-aware model costs
+	// the whole configuration frontier of a stage in one call (the
+	// layered DP, ranking sweep, and hypercube kernel all consume this
+	// table, so they inherit the batched fill). Batched and scalar
+	// evaluation are bit-identical by the BatchCostModel contract.
+	bm, batched := p.Model.(BatchCostModel)
 	err = parallelFor(ctx, workers, p.Stages, func(i int) {
 		var rowSpan obs.Span
 		if traced {
 			rowSpan = p.Tracer.Start(SpanMatrixExecStage)
 		}
 		row := make([]float64, len(configs))
-		for j, c := range configs {
-			row[j] = p.Model.Exec(i, c)
+		if batched {
+			row = bm.BatchExec(i, configs, row)
+		} else {
+			for j, c := range configs {
+				row[j] = p.Model.Exec(i, c)
+			}
 		}
 		m.exec[i] = row
 		if traced {

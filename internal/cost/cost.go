@@ -15,7 +15,6 @@ package cost
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"dyndesign/internal/btree"
@@ -242,69 +241,93 @@ func conjunctSelectivity(t TablePhys, c sql.Comparison) float64 {
 	}
 }
 
+// selectShape is the configuration-independent part of costing a
+// SELECT: the referenced column ordinals (which decide covering), the
+// WHERE conjuncts, and the estimated result cardinality. Deriving it
+// once per statement is what lets a PlanTable price every candidate
+// access path with a single histogram pass.
+type selectShape struct {
+	need       []int
+	conjuncts  []sql.Comparison
+	resultRows float64
+}
+
+// shapeSelect validates the statement and derives its selectShape.
+// SELECT * references every column.
+func shapeSelect(sel *sql.Select, t TablePhys) (selectShape, error) {
+	if err := validateSelect(sel, t.Schema); err != nil {
+		return selectShape{}, err
+	}
+	var sh selectShape
+	if len(sel.Columns) == 0 && !sel.CountStar && !sel.HasAggregates() {
+		for i := 0; i < t.Schema.Len(); i++ {
+			sh.need = append(sh.need, i)
+		}
+	} else {
+		for _, name := range sel.ReferencedColumns() {
+			sh.need = append(sh.need, t.Schema.ColumnIndex(name))
+		}
+	}
+	sh.resultRows = t.Rows
+	if sel.Where != nil {
+		sh.conjuncts = sel.Where.Conjuncts
+	}
+	for _, c := range sh.conjuncts {
+		sh.resultRows *= conjunctSelectivity(t, c)
+	}
+	return sh, nil
+}
+
 // ChooseAccess enumerates the access paths available for a SELECT over
 // the given physical table and indexes, and returns the cheapest. Ties
 // break deterministically: lower cost, then seek over index-only scan
 // over heap scan, then index name.
 func ChooseAccess(sel *sql.Select, t TablePhys, indexes []IndexPhys) (Access, error) {
-	if err := validateSelect(sel, t.Schema); err != nil {
+	sh, err := shapeSelect(sel, t)
+	if err != nil {
 		return Access{}, err
 	}
-	// Referenced column ordinals decide covering. SELECT * references
-	// every column.
-	var need []int
-	if len(sel.Columns) == 0 && !sel.CountStar && !sel.HasAggregates() {
-		for i := 0; i < t.Schema.Len(); i++ {
-			need = append(need, i)
-		}
-	} else {
-		for _, name := range sel.ReferencedColumns() {
-			need = append(need, t.Schema.ColumnIndex(name))
-		}
-	}
-	resultRows := t.Rows
-	var conjuncts []sql.Comparison
-	if sel.Where != nil {
-		conjuncts = sel.Where.Conjuncts
-	}
-	for _, c := range conjuncts {
-		resultRows *= conjunctSelectivity(t, c)
-	}
-
-	candidates := []Access{{
+	best := Access{
 		Kind:          HeapScan,
 		EstMatchRows:  t.Rows,
-		EstResultRows: resultRows,
+		EstResultRows: sh.resultRows,
 		PageCost:      math.Max(1, t.HeapPages),
-	}}
+	}
 	for i := range indexes {
 		ip := &indexes[i]
-		covering := ip.Covers(need)
-		if a, ok := seekAccess(sel, t, ip, conjuncts, covering, resultRows); ok {
-			candidates = append(candidates, a)
+		covering := ip.Covers(sh.need)
+		if a, ok := seekAccess(sel, t, ip, sh.conjuncts, covering, sh.resultRows); ok && betterAccess(a, best) {
+			best = a
 		}
 		if covering {
-			candidates = append(candidates, Access{
+			a := Access{
 				Kind:          IndexOnlyScan,
 				Index:         ip,
 				Covering:      true,
 				EstMatchRows:  t.Rows,
-				EstResultRows: resultRows,
+				EstResultRows: sh.resultRows,
 				PageCost:      ip.Height + ip.LeafPages,
-			})
+			}
+			if betterAccess(a, best) {
+				best = a
+			}
 		}
 	}
-	sort.SliceStable(candidates, func(i, j int) bool {
-		if candidates[i].PageCost != candidates[j].PageCost {
-			return candidates[i].PageCost < candidates[j].PageCost
-		}
-		ri, rj := kindRank(candidates[i].Kind), kindRank(candidates[j].Kind)
-		if ri != rj {
-			return ri < rj
-		}
-		return indexName(candidates[i]) < indexName(candidates[j])
-	})
-	return candidates[0], nil
+	return best, nil
+}
+
+// betterAccess reports whether a is strictly preferred over b under the
+// planner's deterministic order. Because the order is strict, scanning
+// candidates in enumeration order and keeping the incumbent on a full
+// tie selects exactly the element a stable sort would put first.
+func betterAccess(a, b Access) bool {
+	if a.PageCost != b.PageCost {
+		return a.PageCost < b.PageCost
+	}
+	if ra, rb := kindRank(a.Kind), kindRank(b.Kind); ra != rb {
+		return ra < rb
+	}
+	return indexName(a) < indexName(b)
 }
 
 func kindRank(k AccessKind) int {
@@ -330,13 +353,33 @@ func indexName(a Access) string {
 func seekAccess(sel *sql.Select, t TablePhys, ip *IndexPhys, conjuncts []sql.Comparison, covering bool, resultRows float64) (Access, bool) {
 	a := Access{Kind: IndexSeek, Index: ip, Covering: covering}
 	sel1 := 1.0
-	used := make(map[int]bool)
+	// Consumed-conjunct tracking: a bitmask for the (universal) case of
+	// at most 64 conjuncts, an allocated map beyond — the bitmask keeps
+	// the hot costing path allocation-free.
+	var usedBits uint64
+	var usedBig map[int]bool
+	if len(conjuncts) > 64 {
+		usedBig = make(map[int]bool)
+	}
+	used := func(ci int) bool {
+		if usedBig != nil {
+			return usedBig[ci]
+		}
+		return usedBits>>uint(ci)&1 == 1
+	}
+	markUsed := func(ci int) {
+		if usedBig != nil {
+			usedBig[ci] = true
+			return
+		}
+		usedBits |= 1 << uint(ci)
+	}
 
 	// Leading equality prefix.
 	for _, keyCol := range ip.KeyCols {
 		found := -1
 		for ci, c := range conjuncts {
-			if used[ci] || c.Op != sql.OpEq {
+			if used(ci) || c.Op != sql.OpEq {
 				continue
 			}
 			if t.Schema.ColumnIndex(c.Column) == keyCol {
@@ -347,7 +390,7 @@ func seekAccess(sel *sql.Select, t TablePhys, ip *IndexPhys, conjuncts []sql.Com
 		if found < 0 {
 			break
 		}
-		used[found] = true
+		markUsed(found)
 		a.Consumed = append(a.Consumed, found)
 		a.EqVals = append(a.EqVals, conjuncts[found].Value)
 		sel1 *= selEq(t, conjuncts[found].Column, conjuncts[found].Value)
@@ -358,12 +401,12 @@ func seekAccess(sel *sql.Select, t TablePhys, ip *IndexPhys, conjuncts []sql.Com
 	if len(a.EqVals) < len(ip.KeyCols) {
 		next := ip.KeyCols[len(a.EqVals)]
 		for ci, c := range conjuncts {
-			if used[ci] || c.Op != sql.OpIn || t.Schema.ColumnIndex(c.Column) != next {
+			if used(ci) || c.Op != sql.OpIn || t.Schema.ColumnIndex(c.Column) != next {
 				continue
 			}
 			a.In = c.Values
 			a.Consumed = append(a.Consumed, ci)
-			used[ci] = true
+			markUsed(ci)
 			inSel := 0.0
 			for _, v := range c.Values {
 				inSel += selEq(t, c.Column, v)
@@ -380,7 +423,7 @@ func seekAccess(sel *sql.Select, t TablePhys, ip *IndexPhys, conjuncts []sql.Com
 		var r RangeSpec
 		var consumed []int
 		for ci, c := range conjuncts {
-			if used[ci] || t.Schema.ColumnIndex(c.Column) != next {
+			if used(ci) || t.Schema.ColumnIndex(c.Column) != next {
 				continue
 			}
 			v := c.Value

@@ -1,0 +1,254 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"dyndesign/internal/sql"
+)
+
+// maxProjBits bounds the dense projection table of a PlanTable: a
+// statement whose relevant-index clique is wider falls back to the
+// direct bit-scan minimum instead of materializing 2^w cells. 12 bits
+// (4096 cells, 32 KiB) is far beyond the clique widths the partitioned
+// solver tolerates, so real workloads always get the dense table.
+const maxProjBits = 12
+
+// planKind mirrors the statement dispatch of StatementCost.
+type planKind uint8
+
+const (
+	planSelect planKind = iota
+	planInsert
+	planUpdate
+	planDelete
+)
+
+// PlanTable is the compiled what-if costing of one statement against a
+// fixed candidate index list. Compilation enumerates the statement's
+// access paths once — the heap scan plus each index's best seek or
+// covering variant — pricing every histogram-derived selectivity a
+// single time, and records per-index path costs, per-index per-row
+// maintenance increments, and the statement's relevant-index mask.
+// Evaluating a configuration is then O(1) masked lookups instead of a
+// fresh plan derivation, and the result is bit-for-bit identical to
+// StatementCost over the corresponding index slice (the equivalence the
+// FuzzBatchCostEquivalence fuzzer pins):
+//
+//   - a SELECT's cost is the minimum over candidate paths, each path's
+//     cost depends only on (statement, table, that one index), and
+//     indexes whose best path loses to the heap scan can never change
+//     the minimum;
+//   - DML maintenance is per-index additive, replayed in ascending bit
+//     order — exactly the iteration order of the scalar code.
+//
+// Configurations are uint64 bitmasks: bit i selects indexes[i] of the
+// compile-time candidate list.
+type PlanTable struct {
+	kind planKind
+	// allMask has one bit per candidate index; evaluated configurations
+	// are masked with it so stray high bits cannot read out of range.
+	allMask uint64
+	// heapCost is the heap-scan page cost of the row search.
+	heapCost float64
+	// pathCost[i] is candidate i's cheapest index path (seek or
+	// covering scan) for the row search; +Inf when it offers none.
+	pathCost []float64
+	// maint[i] is candidate i's maintenance pages per modified row.
+	maint []float64
+	// rows scales the per-row maintenance term: the INSERT row count,
+	// or the estimated matched rows of an UPDATE/DELETE.
+	rows float64
+	// relevant marks the indexes that can win the row search — exactly
+	// the indexes whose solo what-if probe beats (or ties, under the
+	// planner's index-preferring tie-break) the heap scan, i.e. the
+	// statement's interaction clique.
+	relevant uint64
+	// proj, when non-nil, is the dense projected search table:
+	// proj[compress(c&relevant, relevant)] is the min-path cost of c.
+	proj []float64
+}
+
+// CompilePlan compiles one workload statement into a PlanTable over the
+// candidate index list. The supported statement set, validation errors,
+// and cost arithmetic mirror StatementCost exactly.
+func CompilePlan(stmt sql.Statement, t TablePhys, indexes []IndexPhys) (*PlanTable, error) {
+	if len(indexes) > 64 {
+		return nil, fmt.Errorf("cost: plan table supports at most 64 candidate indexes, got %d", len(indexes))
+	}
+	pt := &PlanTable{allMask: ^uint64(0)}
+	if len(indexes) < 64 {
+		pt.allMask = 1<<uint(len(indexes)) - 1
+	}
+	switch s := stmt.(type) {
+	case *sql.Select:
+		pt.kind = planSelect
+		if err := pt.compileSearch(s, t, indexes); err != nil {
+			return nil, err
+		}
+	case *sql.Insert:
+		pt.kind = planInsert
+		pt.rows = float64(len(s.Rows))
+		pt.compileMaint(indexes, 1) // descend + leaf write
+	case *sql.Update:
+		pt.kind = planUpdate
+		probe := &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
+		if err := pt.compileSearch(probe, t, indexes); err != nil {
+			return nil, err
+		}
+		pt.rows = estimateResultRows(s.Where, t)
+		pt.compileMaint(indexes, 2) // delete + insert entries
+	case *sql.Delete:
+		pt.kind = planDelete
+		probe := &sql.Select{Table: s.Table, Where: s.Where, Limit: -1}
+		if err := pt.compileSearch(probe, t, indexes); err != nil {
+			return nil, err
+		}
+		pt.rows = estimateResultRows(s.Where, t)
+		pt.compileMaint(indexes, 1)
+	default:
+		return nil, fmt.Errorf("cost: statement %T is not a workload statement", stmt)
+	}
+	pt.buildProjection()
+	return pt, nil
+}
+
+// compileSearch prices the row search's access paths: the heap scan and
+// each candidate index's best seek/covering variant, one histogram pass
+// per path.
+func (pt *PlanTable) compileSearch(sel *sql.Select, t TablePhys, indexes []IndexPhys) error {
+	sh, err := shapeSelect(sel, t)
+	if err != nil {
+		return err
+	}
+	pt.heapCost = math.Max(1, t.HeapPages)
+	pt.pathCost = make([]float64, len(indexes))
+	for i := range indexes {
+		ip := &indexes[i]
+		covering := ip.Covers(sh.need)
+		best := math.Inf(1)
+		if a, ok := seekAccess(sel, t, ip, sh.conjuncts, covering, sh.resultRows); ok {
+			best = a.PageCost
+		}
+		if covering {
+			if v := ip.Height + ip.LeafPages; v < best {
+				best = v
+			}
+		}
+		pt.pathCost[i] = best
+		// Relevance matches the planner's tie-break: on equal cost the
+		// index path wins over the heap scan (kindRank seek/scan < heap).
+		if best <= pt.heapCost {
+			pt.relevant |= 1 << uint(i)
+		}
+	}
+	return nil
+}
+
+// compileMaint precomputes the per-row maintenance increment of every
+// candidate index: writes tree descents plus leaf writes per modified
+// row (1 for INSERT/DELETE entries, 2 for UPDATE's delete+insert pair).
+func (pt *PlanTable) compileMaint(indexes []IndexPhys, writes float64) {
+	pt.maint = make([]float64, len(indexes))
+	for i := range indexes {
+		pt.maint[i] = writes * (indexes[i].Height + 1)
+	}
+}
+
+// buildProjection materializes the dense projected search table over
+// the relevant bits when the clique is narrow enough.
+func (pt *PlanTable) buildProjection() {
+	w := bits.OnesCount64(pt.relevant)
+	if w == 0 || w > maxProjBits {
+		return
+	}
+	var pos [maxProjBits]int
+	b := 0
+	for m := pt.relevant; m != 0; m &= m - 1 {
+		pos[b] = bits.TrailingZeros64(m)
+		b++
+	}
+	pt.proj = make([]float64, 1<<uint(w))
+	for s := range pt.proj {
+		best := pt.heapCost
+		for b := 0; b < w; b++ {
+			if s>>uint(b)&1 == 1 {
+				if v := pt.pathCost[pos[b]]; v < best {
+					best = v
+				}
+			}
+		}
+		pt.proj[s] = best
+	}
+}
+
+// compress packs the bits of v selected by mask into the low bits of
+// the result, preserving order — a software PEXT.
+func compress(v, mask uint64) uint64 {
+	var out uint64
+	bit := uint64(1)
+	for m := mask; m != 0; m &= m - 1 {
+		if v&m&-m != 0 {
+			out |= bit
+		}
+		bit <<= 1
+	}
+	return out
+}
+
+// searchCost returns the row search's min-path cost under c.
+func (pt *PlanTable) searchCost(c uint64) float64 {
+	rel := c & pt.relevant
+	if rel == 0 {
+		return pt.heapCost
+	}
+	if pt.proj != nil {
+		return pt.proj[compress(rel, pt.relevant)]
+	}
+	best := pt.heapCost
+	for m := rel; m != 0; m &= m - 1 {
+		if v := pt.pathCost[bits.TrailingZeros64(m)]; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// perRow accumulates the per-modified-row maintenance pages of c in
+// ascending bit order — the scalar code's iteration order, so the
+// float64 operation sequence (and hence the result bits) is identical.
+func (pt *PlanTable) perRow(c uint64) float64 {
+	per := 1.0 // heap write
+	for m := c; m != 0; m &= m - 1 {
+		per += pt.maint[bits.TrailingZeros64(m)]
+	}
+	return per
+}
+
+// Cost returns EXEC(statement, c) for the configuration whose bit i
+// selects candidate index i — bit-identical to StatementCost over the
+// corresponding index slice.
+func (pt *PlanTable) Cost(c uint64) float64 {
+	c &= pt.allMask
+	switch pt.kind {
+	case planSelect:
+		return pt.searchCost(c)
+	case planInsert:
+		return pt.rows * pt.perRow(c)
+	default: // planUpdate, planDelete
+		return pt.searchCost(c) + pt.rows*pt.perRow(c)
+	}
+}
+
+// RelevantMask returns the statement's interaction clique: the indexes
+// whose presence can change its row-search cost. Maintenance terms are
+// per-index additive and contribute no interactions.
+func (pt *PlanTable) RelevantMask() uint64 { return pt.relevant }
+
+// Bytes estimates the retained heap footprint of the compiled table,
+// for memory accounting of long-lived plan caches.
+func (pt *PlanTable) Bytes() int {
+	const header = 96 // struct fields + slice headers
+	return header + 8*(len(pt.pathCost)+len(pt.maint)+len(pt.proj))
+}
